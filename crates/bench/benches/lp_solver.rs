@@ -1,0 +1,113 @@
+//! LP-solver microbenchmarks plus the Theorem 4.2 encoding ablation
+//! (sorting network, O(kT) rows, vs CVaR, O(T) rows — same optimum).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pretium_core::{topk_upper_bound, TopkEncoding};
+use pretium_lp::{Cmp, LinExpr, Model, Sense};
+use std::hint::black_box;
+
+/// Balanced transportation problem with `n` sources and sinks.
+fn transportation(n: usize) -> Model {
+    let mut m = Model::new(Sense::Minimize);
+    let mut vars = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            let cost = 1.0 + ((i * 7 + j * 13) % 10) as f64;
+            vars.push(m.add_nonneg(&format!("x{i}_{j}"), cost));
+        }
+    }
+    for i in 0..n {
+        let e = LinExpr::from_terms((0..n).map(|j| (1.0, vars[i * n + j])));
+        m.add_row(&format!("s{i}"), e, Cmp::Le, 10.0);
+    }
+    for j in 0..n {
+        let e = LinExpr::from_terms((0..n).map(|i| (1.0, vars[i * n + j])));
+        m.add_row(&format!("d{j}"), e, Cmp::Ge, 8.0);
+    }
+    m
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simplex_transportation");
+    for n in [5usize, 10, 20] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let m = transportation(n);
+            b.iter(|| black_box(m.solve().unwrap().objective()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_topk_encodings(c: &mut Criterion) {
+    let mut g = c.benchmark_group("topk_encoding");
+    for (enc, name) in [
+        (TopkEncoding::SortingNetwork, "sorting_network"),
+        (TopkEncoding::CVar, "cvar"),
+    ] {
+        for t in [24usize, 48] {
+            let k = (t as f64 * 0.1).ceil() as usize;
+            g.bench_with_input(BenchmarkId::new(name, t), &t, |b, &t| {
+                b.iter(|| {
+                    let mut m = Model::new(Sense::Minimize);
+                    let xs: Vec<_> = (0..t)
+                        .map(|i| {
+                            let v = ((i * 31) % 17) as f64;
+                            m.add_var(&format!("x{i}"), v, v, 0.0)
+                        })
+                        .collect();
+                    let s = topk_upper_bound(&mut m, &xs, k, enc, "e");
+                    m.set_obj(s, 1.0);
+                    black_box(m.solve().unwrap().value(s))
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_lazy_schedule(c: &mut Criterion) {
+    use pretium_core::{schedule, Job, ScheduleProblem};
+    use pretium_net::{topology, EdgeId, PathSet, TimeGrid};
+    let net = topology::default_eval(3);
+    let grid = TimeGrid::new(12, 30);
+    let mut paths = PathSet::new(2);
+    let nodes: Vec<_> = net.node_ids().collect();
+    let mut jobs = Vec::new();
+    for i in 0..30 {
+        let s = nodes[i % nodes.len()];
+        let d = nodes[(i * 5 + 3) % nodes.len()];
+        if s == d {
+            continue;
+        }
+        let p = paths.paths(&net, s, d).to_vec();
+        if p.is_empty() {
+            continue;
+        }
+        jobs.push(Job::new(i, p, i % 6, 6 + i % 6, 1.0 + (i % 4) as f64, 0.0, 20.0));
+    }
+    c.bench_function("schedule_lp_30jobs_12steps", |b| {
+        b.iter(|| {
+            let cap = |e: EdgeId, _t: usize| net.edge(e).capacity * 0.9;
+            let zero = |_: EdgeId, _: usize| 0.0;
+            let problem = ScheduleProblem {
+                net: &net,
+                grid: &grid,
+                from: 0,
+                to: 12,
+                jobs: &jobs,
+                capacity: &cap,
+                realized: &zero,
+                topk: TopkEncoding::CVar,
+                cost_scale: 1.0,
+            };
+            black_box(schedule::solve(&problem).unwrap().objective)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_simplex, bench_topk_encodings, bench_lazy_schedule
+}
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Table 4: runtimes of the three Pretium modules (RA per request, SAM per
+//! timestep, PC per window) measured with Criterion on the default
+//! evaluation scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pretium_core::{Pretium, PretiumConfig, RequestParams};
+use pretium_net::UsageTracker;
+use pretium_sim::ScenarioConfig;
+use std::hint::black_box;
+
+/// Warm a Pretium instance to mid-simulation state (half the requests
+/// admitted, SAM executed, first window done).
+fn warmed() -> (Pretium, UsageTracker, pretium_sim::Scenario, usize) {
+    let scenario = ScenarioConfig::evaluation(7, 1.0).build();
+    let mut system = Pretium::new(
+        scenario.net.clone(),
+        scenario.grid,
+        scenario.horizon,
+        PretiumConfig::default(),
+    );
+    let mut usage = UsageTracker::new(scenario.net.num_edges(), scenario.horizon);
+    let mid = scenario.horizon / 2;
+    let mut next = 0;
+    for t in 0..mid {
+        if scenario.grid.step_in_window(t) == 0 && t > 0 {
+            system.run_pc(t).unwrap();
+        }
+        while next < scenario.requests.len() && scenario.requests[next].arrival == t {
+            let r = &scenario.requests[next];
+            let params = RequestParams::from(r);
+            let menu = system.quote(&params);
+            let units = menu.optimal_purchase(r.value, r.demand);
+            system.accept(&params, &menu, units);
+            next += 1;
+        }
+        system.run_sam(t, &usage).unwrap();
+        system.execute_step(t, &mut usage);
+    }
+    (system, usage, scenario, mid)
+}
+
+fn bench_modules(c: &mut Criterion) {
+    let (mut system, usage, scenario, mid) = warmed();
+
+    // RA: quote a representative mid-simulation request.
+    let probe = scenario
+        .requests
+        .iter()
+        .find(|r| r.arrival >= mid)
+        .expect("request in second half");
+    let params = RequestParams::from(probe);
+    c.bench_function("table4_ra_quote", |b| {
+        b.iter(|| black_box(system.quote(&params).capacity_bound()));
+    });
+
+    // SAM: one full re-optimization at the midpoint.
+    c.bench_function("table4_sam_step", |b| {
+        b.iter(|| {
+            system.run_sam(mid, &usage).unwrap();
+        });
+    });
+
+    // PC: one full price recomputation at the second window boundary.
+    let boundary = scenario.grid.window_start(1);
+    c.bench_function("table4_pc_window", |b| {
+        b.iter(|| {
+            system.run_pc(boundary.max(scenario.grid.steps_per_window)).unwrap();
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_modules
+}
+criterion_main!(benches);

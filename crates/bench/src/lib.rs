@@ -1,0 +1,2 @@
+//! Bench-only crate: see `benches/` for the Criterion harnesses that
+//! regenerate every table and figure (lp_solver, table4_modules, figures).

@@ -1,0 +1,86 @@
+//! Pretium configuration knobs.
+
+use crate::state::PriceBump;
+use crate::topk::TopkEncoding;
+use serde::{Deserialize, Serialize};
+
+/// Which past window the price computer projects forward (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReferenceWindow {
+    /// The window that just ended.
+    Previous,
+    /// `n` windows back (e.g. the same window yesterday when windows are
+    /// shorter than a day).
+    WindowsBack(usize),
+}
+
+/// All tunables of a Pretium instance. Defaults follow the paper where it
+/// states values, and DESIGN.md §8 where it does not.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PretiumConfig {
+    /// Admissible routes per request (k-shortest paths).
+    pub k_paths: usize,
+    /// Fraction of every link reserved for high-pri traffic (§4.4).
+    pub highpri_fraction: f64,
+    /// Short-term congestion price bump (§4.1; paper: double the last 20%).
+    pub bump: PriceBump,
+    /// Top-k cost encoding for the scheduling LPs.
+    pub topk: TopkEncoding,
+    /// Multiplier on link costs (Figure 12 sweeps this).
+    pub cost_scale: f64,
+    /// Run SAM every `sam_every` timesteps (1 = every step, as in §4.2).
+    pub sam_every: usize,
+    /// Disable SAM entirely (the Pretium-NoSAM ablation of Figure 11).
+    pub sam_enabled: bool,
+    /// Windows of history the price computer optimizes over (the paper's
+    /// period `T`, at least one window).
+    pub lookback_windows: usize,
+    /// Which past window supplies the projected prices.
+    pub reference: ReferenceWindow,
+    /// Price floor for owned links (per unit). Percentile links use
+    /// `max(this, C_e / k)` so quotes never fall below marginal cost.
+    pub price_floor: f64,
+    /// Initial price scale at cold start (multiplies each link's floor).
+    pub initial_price_scale: f64,
+}
+
+impl Default for PretiumConfig {
+    fn default() -> Self {
+        PretiumConfig {
+            k_paths: 3,
+            highpri_fraction: 0.10,
+            bump: PriceBump::default(),
+            topk: TopkEncoding::CVar,
+            cost_scale: 1.0,
+            sam_every: 1,
+            sam_enabled: true,
+            lookback_windows: 1,
+            reference: ReferenceWindow::Previous,
+            price_floor: 0.05,
+            initial_price_scale: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_constants() {
+        let c = PretiumConfig::default();
+        assert_eq!(c.bump.threshold, 0.8);
+        assert_eq!(c.bump.factor, 2.0);
+        assert_eq!(c.sam_every, 1);
+        assert!(c.sam_enabled);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = PretiumConfig::default();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: PretiumConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c.k_paths, back.k_paths);
+        assert_eq!(c.reference, back.reference);
+    }
+}

@@ -1,0 +1,160 @@
+//! Admission contracts.
+//!
+//! When a customer accepts `x` units off a price menu, Pretium records a
+//! [`Contract`]: the purchased amount, the guarantee `min(x, x̄)`, the
+//! payment `p(x)` fixed at admission time, and the marginal price `λ`
+//! that SAM and the price computer use as the request's value proxy
+//! (§4.1-4.3). Note that [`RequestParams`] deliberately excludes the
+//! customer's private value `v_i` — no Pretium module can read it.
+
+use pretium_net::{NodeId, Timestep};
+use pretium_workload::{Request, RequestId};
+use serde::{Deserialize, Serialize};
+
+/// The request attributes visible to the provider (everything **except**
+/// the private per-unit value).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestParams {
+    pub id: RequestId,
+    pub src: NodeId,
+    pub dst: NodeId,
+    pub demand: f64,
+    pub arrival: Timestep,
+    pub start: Timestep,
+    pub deadline: Timestep,
+}
+
+impl From<&Request> for RequestParams {
+    fn from(r: &Request) -> Self {
+        RequestParams {
+            id: r.id,
+            src: r.src,
+            dst: r.dst,
+            demand: r.demand,
+            arrival: r.arrival,
+            start: r.start,
+            deadline: r.deadline,
+        }
+    }
+}
+
+/// Handle to an accepted contract inside a Pretium instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ContractId(pub usize);
+
+/// An accepted transfer.
+#[derive(Debug, Clone)]
+pub struct Contract {
+    pub params: RequestParams,
+    /// Units the customer chose to buy (`x_i`).
+    pub purchased: f64,
+    /// Units Pretium promised to deliver: `min(x_i, x̄_i)`.
+    pub guaranteed: f64,
+    /// Total payment `p_i(x_i)`, fixed at admission.
+    pub payment: f64,
+    /// Marginal accepted price `λ_i = Δ_i(x_i)` — the value proxy.
+    pub lambda: f64,
+    /// Units delivered so far.
+    pub delivered: f64,
+    /// Planned future transfers: `(path index, timestep, units)` over the
+    /// contract's path set. Rewritten by SAM each timestep.
+    pub plan: Vec<(usize, Timestep, f64)>,
+}
+
+impl Contract {
+    /// Units still owed under the guarantee.
+    pub fn guarantee_remaining(&self) -> f64 {
+        (self.guaranteed - self.delivered).max(0.0)
+    }
+
+    /// Units the customer still wants (purchased minus delivered).
+    pub fn demand_remaining(&self) -> f64 {
+        (self.purchased - self.delivered).max(0.0)
+    }
+
+    /// Whether the transfer window is still open at `now` and units remain.
+    pub fn active_at(&self, now: Timestep) -> bool {
+        now <= self.params.deadline && self.demand_remaining() > 1e-9
+    }
+
+    /// Whether the guarantee was met by the deadline.
+    pub fn guarantee_met(&self) -> bool {
+        self.delivered + 1e-6 >= self.guaranteed
+    }
+
+    /// Fully served (all purchased units delivered).
+    pub fn completed(&self) -> bool {
+        self.delivered + 1e-6 >= self.purchased
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn contract() -> Contract {
+        Contract {
+            params: RequestParams {
+                id: RequestId(0),
+                src: NodeId(0),
+                dst: NodeId(1),
+                demand: 10.0,
+                arrival: 0,
+                start: 0,
+                deadline: 5,
+            },
+            purchased: 8.0,
+            guaranteed: 6.0,
+            payment: 9.0,
+            lambda: 1.2,
+            delivered: 0.0,
+            plan: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn remaining_accounting() {
+        let mut c = contract();
+        assert_eq!(c.guarantee_remaining(), 6.0);
+        assert_eq!(c.demand_remaining(), 8.0);
+        c.delivered = 7.0;
+        assert_eq!(c.guarantee_remaining(), 0.0);
+        assert!((c.demand_remaining() - 1.0).abs() < 1e-12);
+        assert!(c.guarantee_met());
+        assert!(!c.completed());
+        c.delivered = 8.0;
+        assert!(c.completed());
+    }
+
+    #[test]
+    fn activity_window() {
+        let c = contract();
+        assert!(c.active_at(0));
+        assert!(c.active_at(5));
+        assert!(!c.active_at(6));
+        let mut done = contract();
+        done.delivered = done.purchased;
+        assert!(!done.active_at(3));
+    }
+
+    #[test]
+    fn params_hide_value() {
+        // Compile-time documentation: RequestParams has no `value` field.
+        let r = Request {
+            id: RequestId(3),
+            src: NodeId(0),
+            dst: NodeId(1),
+            demand: 5.0,
+            value: 99.0,
+            arrival: 1,
+            start: 1,
+            deadline: 4,
+            kind: pretium_workload::RequestKind::Byte,
+        };
+        let p = RequestParams::from(&r);
+        assert_eq!(p.id, RequestId(3));
+        assert_eq!(p.demand, 5.0);
+        let json = serde_json::to_string(&p).unwrap();
+        assert!(!json.contains("99"), "value must not leak into params");
+    }
+}

@@ -1,0 +1,1 @@
+//! §5 deviation analysis (implemented after the simulator lands).

@@ -1,0 +1,42 @@
+//! # pretium-core — the paper's primary contribution
+//!
+//! The Pretium framework from "Dynamic Pricing and Traffic Engineering for
+//! Timely Inter-Datacenter Transfers" (SIGCOMM 2016): online price quotes
+//! with service guarantees, LP-based schedule adjustment with percentile
+//! cost proxies, and dual-based price recomputation.
+//!
+//! Module map (mirrors Figure 3 of the paper):
+//!
+//! * [`state`] — the shared network state: per-(link, timestep) prices,
+//!   reservations, high-pri set-asides, the short-term price bump.
+//! * [`menu`] — RA price menus (§4.1): convex piecewise-linear price
+//!   schedules over the cheapest (path, timestep) slots, the guarantee
+//!   bound `x̄`, and the Theorem 5.2 user response.
+//! * [`contract`] — accepted transfers: purchase, guarantee, payment, and
+//!   the marginal price `λ` used as the value proxy downstream.
+//! * [`schedule`] — the multi-timestep scheduling LP (Equation 2) with
+//!   lazy capacity rows and lazily-attached percentile cost encodings.
+//! * [`topk`] — Theorem 4.2: O(kT) sorting-network encoding of
+//!   sum-of-top-k, plus the O(T) CVaR alternative.
+//! * [`pretium`] — the orchestrating façade: `quote` / `accept` (RA),
+//!   `run_sam` (§4.2), `run_pc` (§4.3), `execute_step`.
+//! * [`config`] — tunables, with paper defaults.
+//! * [`incentives`] — §5: empirical deviation analysis (can customers gain
+//!   by misreporting?).
+
+pub mod config;
+pub mod contract;
+pub mod incentives;
+pub mod menu;
+pub mod pretium;
+pub mod schedule;
+pub mod state;
+pub mod topk;
+
+pub use config::{PretiumConfig, ReferenceWindow};
+pub use contract::{Contract, ContractId, RequestParams};
+pub use menu::{build_menu, PriceMenu};
+pub use pretium::{initial_price, price_floor, Pretium};
+pub use schedule::{Job, ScheduleProblem, ScheduleSolution};
+pub use state::{NetworkState, PriceBump};
+pub use topk::{topk_upper_bound, TopkEncoding};

@@ -1,0 +1,393 @@
+//! Price menus and user responses (§4.1, Figure 4).
+//!
+//! A menu `p_i(·)` is built by greedily filling the cheapest
+//! `(path, timestep)` slots at the current internal prices: the per-unit
+//! price only rises as slots saturate, so the menu is non-decreasing,
+//! convex, and piecewise linear. The menu records which slots each segment
+//! draws on, so accepting `x` units immediately yields the preliminary
+//! schedule (the admission interface doubles as TE by steering traffic to
+//! low-price slots).
+
+use crate::state::NetworkState;
+use pretium_net::{EdgeId, Path, Timestep};
+use std::collections::HashMap;
+
+/// Where a menu segment's capacity lives.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotAlloc {
+    /// Index into the request's path set.
+    pub path_idx: usize,
+    pub t: Timestep,
+    pub units: f64,
+}
+
+/// One linear piece of the menu: `units` sellable at `unit_price` each.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    pub unit_price: f64,
+    pub units: f64,
+    pub alloc: SlotAlloc,
+}
+
+/// A convex piecewise-linear price schedule plus the capacity bound `x̄`.
+#[derive(Debug, Clone, Default)]
+pub struct PriceMenu {
+    /// Segments in non-decreasing price order.
+    pub segments: Vec<Segment>,
+}
+
+impl PriceMenu {
+    /// `x̄`: the largest transfer Pretium will guarantee (§4.1).
+    pub fn capacity_bound(&self) -> f64 {
+        self.segments.iter().map(|s| s.units).sum()
+    }
+
+    /// Total price `p(x)` for routing `x` units. Beyond `x̄`, additional
+    /// units are priced at the final marginal price (best-effort class).
+    pub fn price(&self, x: f64) -> f64 {
+        assert!(x >= 0.0, "negative quantity");
+        let mut remaining = x;
+        let mut total = 0.0;
+        for s in &self.segments {
+            let take = remaining.min(s.units);
+            total += take * s.unit_price;
+            remaining -= take;
+            if remaining <= 0.0 {
+                return total;
+            }
+        }
+        total + remaining * self.marginal_at_bound()
+    }
+
+    /// Marginal price `Δ(x)` of the next unit after `x`.
+    pub fn marginal(&self, x: f64) -> f64 {
+        assert!(x >= 0.0);
+        let mut seen = 0.0;
+        for s in &self.segments {
+            seen += s.units;
+            if x < seen - 1e-12 {
+                return s.unit_price;
+            }
+        }
+        self.marginal_at_bound()
+    }
+
+    /// The marginal price at `x̄` (what best-effort units would pay).
+    pub fn marginal_at_bound(&self) -> f64 {
+        self.segments.last().map(|s| s.unit_price).unwrap_or(f64::INFINITY)
+    }
+
+    /// Theorem 5.2: the utility-maximizing purchase for a customer with
+    /// per-unit value `value` and demand `demand` — as many units as
+    /// possible while the marginal price is at most the value, capped at
+    /// both the demand and the guarantee bound `x̄`.
+    pub fn optimal_purchase(&self, value: f64, demand: f64) -> f64 {
+        assert!(demand >= 0.0);
+        let mut x = 0.0;
+        for s in &self.segments {
+            if s.unit_price > value + 1e-12 {
+                break;
+            }
+            x += s.units;
+            if x >= demand {
+                return demand;
+            }
+        }
+        x.min(demand)
+    }
+
+    /// All-or-nothing variant (the Pretium-NoMenu ablation of Figure 11):
+    /// buy the full demand iff it fits under `x̄` and the total price does
+    /// not exceed the total value.
+    pub fn all_or_nothing_purchase(&self, value: f64, demand: f64) -> f64 {
+        if demand <= self.capacity_bound() + 1e-9 && self.price(demand) <= value * demand + 1e-9 {
+            demand
+        } else {
+            0.0
+        }
+    }
+
+    /// The slot allocations backing the first `x` units (the preliminary
+    /// schedule for an accepted transfer of size `x`).
+    pub fn allocations_for(&self, x: f64) -> Vec<SlotAlloc> {
+        let mut remaining = x;
+        let mut out = Vec::new();
+        for s in &self.segments {
+            if remaining <= 1e-12 {
+                break;
+            }
+            let take = remaining.min(s.units);
+            out.push(SlotAlloc { path_idx: s.alloc.path_idx, t: s.alloc.t, units: take });
+            remaining -= take;
+        }
+        out
+    }
+
+    /// Number of distinct price levels (for display).
+    pub fn price_levels(&self) -> Vec<(f64, f64)> {
+        let mut out: Vec<(f64, f64)> = Vec::new();
+        for s in &self.segments {
+            match out.last_mut() {
+                Some(last) if (last.0 - s.unit_price).abs() < 1e-12 => last.1 += s.units,
+                _ => out.push((s.unit_price, s.units)),
+            }
+        }
+        out
+    }
+}
+
+/// Build the price menu for a request over `paths` within
+/// `[start, deadline]`, against the current prices/availability in
+/// `state`. Does not mutate the state: hypothetical fills are tracked in a
+/// local ledger so the short-term price bump (§4.1) applies *within* the
+/// menu as well (buying deep into a link's capacity raises later segments).
+pub fn build_menu(
+    state: &NetworkState,
+    paths: &[Path],
+    start: Timestep,
+    deadline: Timestep,
+) -> PriceMenu {
+    assert!(start <= deadline, "empty request window");
+    let deadline = deadline.min(state.horizon().saturating_sub(1));
+    // Local hypothetical reservations on top of the state.
+    let mut extra: HashMap<(EdgeId, Timestep), f64> = HashMap::new();
+    let marginal = |state: &NetworkState, extra: &HashMap<(EdgeId, Timestep), f64>, e: EdgeId, t: Timestep| -> f64 {
+        let cap = state.sellable_capacity(e, t);
+        if cap <= 0.0 {
+            return state.price(e, t) * state.bump.factor;
+        }
+        let used = state.reserved(e, t) + extra.get(&(e, t)).copied().unwrap_or(0.0);
+        if used / cap >= state.bump.threshold {
+            state.price(e, t) * state.bump.factor
+        } else {
+            state.price(e, t)
+        }
+    };
+    let avail_at_marginal = |state: &NetworkState, extra: &HashMap<(EdgeId, Timestep), f64>, e: EdgeId, t: Timestep| -> f64 {
+        let cap = state.sellable_capacity(e, t);
+        let used = state.reserved(e, t) + extra.get(&(e, t)).copied().unwrap_or(0.0);
+        let boundary = cap * state.bump.threshold;
+        if used < boundary {
+            boundary - used
+        } else {
+            (cap - used).max(0.0)
+        }
+    };
+
+    let mut segments = Vec::new();
+    // Bounded iteration: each round exhausts a segment of at least one
+    // (edge, t); 2 segments per pair.
+    let max_rounds = 2 * paths.iter().map(|p| p.len()).sum::<usize>() * (deadline - start + 1) + 8;
+    for _ in 0..max_rounds {
+        // Find the cheapest slot with availability.
+        let mut best: Option<(f64, usize, Timestep, f64)> = None; // (price, path, t, qty)
+        for (pi, path) in paths.iter().enumerate() {
+            for t in start..=deadline {
+                let price: f64 =
+                    path.edges().iter().map(|&e| marginal(state, &extra, e, t)).sum();
+                let qty: f64 = path
+                    .edges()
+                    .iter()
+                    .map(|&e| avail_at_marginal(state, &extra, e, t))
+                    .fold(f64::INFINITY, f64::min);
+                if qty <= 1e-9 {
+                    continue;
+                }
+                if best.as_ref().is_none_or(|&(bp, _, _, _)| price < bp - 1e-12) {
+                    best = Some((price, pi, t, qty));
+                }
+            }
+        }
+        let Some((price, pi, t, qty)) = best else { break };
+        for &e in paths[pi].edges() {
+            *extra.entry((e, t)).or_insert(0.0) += qty;
+        }
+        segments.push(Segment {
+            unit_price: price,
+            units: qty,
+            alloc: SlotAlloc { path_idx: pi, t, units: qty },
+        });
+    }
+    // Greedy picks the global minimum each round, so prices are sorted —
+    // but the bump can create equal-price reorderings; enforce the
+    // invariant.
+    segments.sort_by(|a, b| a.unit_price.partial_cmp(&b.unit_price).unwrap());
+    PriceMenu { segments }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::PriceBump;
+    use pretium_net::{LinkCost, Network, Region, TimeGrid};
+
+    /// A -> B single edge, capacity 10/step, 4 steps, price 1.0.
+    fn setup() -> (Network, NetworkState, Vec<Path>) {
+        let mut net = Network::new();
+        let a = net.add_node("A", Region::NorthAmerica);
+        let b = net.add_node("B", Region::NorthAmerica);
+        let e = net.add_edge(a, b, 10.0, LinkCost::owned());
+        let state = NetworkState::new(
+            &net,
+            TimeGrid::new(4, 30),
+            4,
+            0.0,
+            PriceBump::default(),
+            |_| 1.0,
+        );
+        let paths = vec![Path::new(&net, vec![e])];
+        (net, state, paths)
+    }
+
+    #[test]
+    fn menu_is_sorted_and_convex() {
+        let (_, state, paths) = setup();
+        let menu = build_menu(&state, &paths, 0, 3);
+        let prices: Vec<f64> = menu.segments.iter().map(|s| s.unit_price).collect();
+        assert!(prices.windows(2).all(|w| w[0] <= w[1] + 1e-12), "{prices:?}");
+        // x̄ = 4 steps × 10 capacity = 40.
+        assert!((menu.capacity_bound() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bump_creates_second_price_level() {
+        let (_, state, paths) = setup();
+        let menu = build_menu(&state, &paths, 0, 0);
+        // One step: 8 units at 1.0, then 2 units at 2.0.
+        let levels = menu.price_levels();
+        assert_eq!(levels.len(), 2, "{levels:?}");
+        assert!((levels[0].0 - 1.0).abs() < 1e-12 && (levels[0].1 - 8.0).abs() < 1e-9);
+        assert!((levels[1].0 - 2.0).abs() < 1e-12 && (levels[1].1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn price_integrates_segments() {
+        let (_, state, paths) = setup();
+        let menu = build_menu(&state, &paths, 0, 0);
+        assert!((menu.price(8.0) - 8.0).abs() < 1e-9);
+        assert!((menu.price(10.0) - (8.0 + 2.0 * 2.0)).abs() < 1e-9);
+        // Beyond x̄: best-effort at the final marginal price.
+        assert!((menu.price(12.0) - (12.0 + 2.0 * 2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn marginal_steps_at_boundaries() {
+        let (_, state, paths) = setup();
+        let menu = build_menu(&state, &paths, 0, 0);
+        assert_eq!(menu.marginal(0.0), 1.0);
+        assert_eq!(menu.marginal(7.9), 1.0);
+        assert_eq!(menu.marginal(8.0), 2.0);
+        assert_eq!(menu.marginal(50.0), 2.0);
+    }
+
+    #[test]
+    fn optimal_purchase_respects_value() {
+        let (_, state, paths) = setup();
+        let menu = build_menu(&state, &paths, 0, 0);
+        // Value 1.5: only the 1.0-priced 8 units are worth it.
+        assert!((menu.optimal_purchase(1.5, 100.0) - 8.0).abs() < 1e-9);
+        // Value 2.5: everything (10 units) is worth it.
+        assert!((menu.optimal_purchase(2.5, 100.0) - 10.0).abs() < 1e-9);
+        // Demand caps the purchase.
+        assert!((menu.optimal_purchase(2.5, 3.0) - 3.0).abs() < 1e-9);
+        // Value below every price: nothing.
+        assert_eq!(menu.optimal_purchase(0.5, 100.0), 0.0);
+    }
+
+    #[test]
+    fn all_or_nothing_threshold() {
+        let (_, state, paths) = setup();
+        let menu = build_menu(&state, &paths, 0, 0);
+        // 10 units cost 12 total; value 1.3/unit -> total value 13 >= 12: buy.
+        assert_eq!(menu.all_or_nothing_purchase(1.3, 10.0), 10.0);
+        // value 1.1 -> total 11 < 12: walk away.
+        assert_eq!(menu.all_or_nothing_purchase(1.1, 10.0), 0.0);
+        // Demand beyond x̄: walk away even with a high value.
+        assert_eq!(menu.all_or_nothing_purchase(10.0, 11.0), 0.0);
+    }
+
+    #[test]
+    fn allocations_cover_purchase() {
+        let (_, state, paths) = setup();
+        let menu = build_menu(&state, &paths, 0, 3);
+        let allocs = menu.allocations_for(25.0);
+        let total: f64 = allocs.iter().map(|a| a.units).sum();
+        assert!((total - 25.0).abs() < 1e-9);
+        // Cheapest slots first: all allocations at base price until 4×8=32.
+        for a in &allocs {
+            assert!(a.t <= 3);
+        }
+    }
+
+    #[test]
+    fn later_deadline_never_raises_prices() {
+        // Theorem 5.1 ingredient: a superset window can only lower p(x).
+        let (_, mut state, paths) = setup();
+        // Make step 0 expensive.
+        let e = EdgeId(0);
+        state.set_price(e, 0, 5.0);
+        let tight = build_menu(&state, &paths, 0, 0);
+        let loose = build_menu(&state, &paths, 0, 3);
+        for x in [1.0, 5.0, 10.0] {
+            assert!(
+                loose.price(x) <= tight.price(x) + 1e-9,
+                "x={x}: loose {} > tight {}",
+                loose.price(x),
+                tight.price(x)
+            );
+        }
+    }
+
+    #[test]
+    fn existing_reservations_shrink_menu() {
+        let (_, mut state, paths) = setup();
+        state.reserve(EdgeId(0), 0, 6.0);
+        let menu = build_menu(&state, &paths, 0, 0);
+        assert!((menu.capacity_bound() - 4.0).abs() < 1e-9);
+        // Only 2 units remain below the bump threshold (8 - 6).
+        let levels = menu.price_levels();
+        assert!((levels[0].1 - 2.0).abs() < 1e-9, "{levels:?}");
+    }
+
+    #[test]
+    fn empty_menu_when_no_capacity() {
+        let (_, mut state, paths) = setup();
+        for t in 0..4 {
+            let cap = state.sellable_capacity(EdgeId(0), t);
+            state.reserve(EdgeId(0), t, cap);
+        }
+        let menu = build_menu(&state, &paths, 0, 3);
+        assert_eq!(menu.capacity_bound(), 0.0);
+        assert_eq!(menu.optimal_purchase(100.0, 10.0), 0.0);
+        assert_eq!(menu.marginal_at_bound(), f64::INFINITY);
+    }
+
+    #[test]
+    fn multipath_menu_prefers_cheap_path() {
+        let mut net = Network::new();
+        let a = net.add_node("A", Region::NorthAmerica);
+        let b = net.add_node("B", Region::NorthAmerica);
+        let c = net.add_node("C", Region::NorthAmerica);
+        let ab = net.add_edge(a, b, 10.0, LinkCost::owned());
+        let ac = net.add_edge(a, c, 10.0, LinkCost::owned());
+        let cb = net.add_edge(c, b, 10.0, LinkCost::owned());
+        let mut state = NetworkState::new(
+            &net,
+            TimeGrid::new(1, 30),
+            1,
+            0.0,
+            PriceBump::disabled(),
+            |_| 1.0,
+        );
+        // Two-hop path costs 2.0/unit; make the direct edge pricier (3.0).
+        state.set_price(ab, 0, 3.0);
+        let paths = vec![
+            Path::new(&net, vec![ab]),
+            Path::new(&net, vec![ac, cb]),
+        ];
+        let menu = build_menu(&state, &paths, 0, 0);
+        assert_eq!(menu.segments[0].alloc.path_idx, 1, "two-hop path should be first");
+        assert!((menu.segments[0].unit_price - 2.0).abs() < 1e-12);
+        assert!((menu.marginal(10.0) - 3.0).abs() < 1e-12);
+    }
+}

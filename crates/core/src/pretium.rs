@@ -1,0 +1,336 @@
+//! The Pretium system façade: request admission, schedule adjustment, and
+//! price computation wired around the shared [`NetworkState`] (Figure 3).
+//!
+//! Module timescales (§4): the RA answers *every request arrival* with a
+//! menu built from current prices; SAM re-optimizes the full plan *every
+//! timestep*; the PC recomputes prices *once per window* from the duals of
+//! an offline solve over recent history.
+
+use crate::config::{PretiumConfig, ReferenceWindow};
+use crate::contract::{Contract, ContractId, RequestParams};
+use crate::menu::{build_menu, PriceMenu};
+use crate::schedule::{self, Job, ScheduleProblem};
+use crate::state::NetworkState;
+use pretium_lp::SolveError;
+use pretium_net::{EdgeId, Network, Path, PathSet, TimeGrid, Timestep, UsageTracker};
+
+/// A running Pretium instance.
+pub struct Pretium {
+    net: Network,
+    grid: TimeGrid,
+    horizon: usize,
+    cfg: PretiumConfig,
+    state: NetworkState,
+    path_cache: PathSet,
+    contracts: Vec<Contract>,
+    /// Admissible route set per contract (parallel to `contracts`).
+    contract_paths: Vec<Vec<Path>>,
+    /// Number of completed price recomputations.
+    pc_runs: u32,
+}
+
+impl Pretium {
+    /// Create an instance over `net` for `horizon` timesteps. Initial
+    /// prices are the per-edge floors scaled by
+    /// `cfg.initial_price_scale` (cold start; see DESIGN.md §8).
+    pub fn new(net: Network, grid: TimeGrid, horizon: usize, cfg: PretiumConfig) -> Self {
+        assert!(horizon > 0);
+        let floors: Vec<f64> = net
+            .edge_ids()
+            .map(|e| initial_price(&net, &grid, &cfg, e))
+            .collect();
+        let state = NetworkState::new(&net, grid, horizon, cfg.highpri_fraction, cfg.bump, |e| {
+            floors[e.index()]
+        });
+        let path_cache = PathSet::new(cfg.k_paths);
+        Pretium {
+            net,
+            grid,
+            horizon,
+            cfg,
+            state,
+            path_cache,
+            contracts: Vec::new(),
+            contract_paths: Vec::new(),
+            pc_runs: 0,
+        }
+    }
+
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    pub fn state(&self) -> &NetworkState {
+        &self.state
+    }
+
+    pub fn config(&self) -> &PretiumConfig {
+        &self.cfg
+    }
+
+    pub fn contracts(&self) -> &[Contract] {
+        &self.contracts
+    }
+
+    pub fn contract(&self, id: ContractId) -> &Contract {
+        &self.contracts[id.0]
+    }
+
+    pub fn pc_runs(&self) -> u32 {
+        self.pc_runs
+    }
+
+    /// RA, step 1: generate the price menu for a request's parameters
+    /// (§4.1). Pure read of the network state.
+    pub fn quote(&mut self, params: &RequestParams) -> PriceMenu {
+        let paths = self.path_cache.paths(&self.net, params.src, params.dst);
+        if paths.is_empty() {
+            return PriceMenu::default();
+        }
+        build_menu(&self.state, paths, params.start, params.deadline.min(self.horizon - 1))
+    }
+
+    /// RA, step 2: the customer accepts `units` off the quoted menu. The
+    /// preliminary schedule (the menu's cheapest slots) is reserved, the
+    /// payment `p(units)` is locked in, and the marginal price becomes the
+    /// contract's value proxy `λ`.
+    ///
+    /// Returns `None` when `units` is zero/negative (customer walked away)
+    /// or no route exists.
+    pub fn accept(
+        &mut self,
+        params: &RequestParams,
+        menu: &PriceMenu,
+        units: f64,
+    ) -> Option<ContractId> {
+        if units <= 1e-9 {
+            return None;
+        }
+        let paths = self.path_cache.paths(&self.net, params.src, params.dst).to_vec();
+        if paths.is_empty() {
+            return None;
+        }
+        let guaranteed = units.min(menu.capacity_bound());
+        let allocs = menu.allocations_for(guaranteed);
+        let mut plan = Vec::with_capacity(allocs.len());
+        for a in &allocs {
+            for &e in paths[a.path_idx].edges() {
+                // The menu was built against this very state, so the
+                // reservation must fit (clamped for float safety).
+                let amount = a.units.min(self.state.available(e, a.t));
+                debug_assert!((amount - a.units).abs() < 1e-6 * (1.0 + a.units));
+                self.state.reserve(e, a.t, amount);
+            }
+            plan.push((a.path_idx, a.t, a.units));
+        }
+        let payment = menu.price(units);
+        let lambda = menu.marginal((units - 1e-9).max(0.0));
+        let id = ContractId(self.contracts.len());
+        self.contracts.push(Contract {
+            params: params.clone(),
+            purchased: units,
+            guaranteed,
+            payment,
+            lambda,
+            delivered: 0.0,
+            plan,
+        });
+        self.contract_paths.push(paths);
+        Some(id)
+    }
+
+    /// SAM (§4.2): re-optimize the plans of all active contracts from
+    /// timestep `now` onward, maximizing Σ λ·X − C(X) subject to the
+    /// remaining guarantees. `realized` reports usage already carried in
+    /// the current billing window (for the cost proxy).
+    pub fn run_sam(&mut self, now: Timestep, realized: &UsageTracker) -> Result<(), SolveError> {
+        if !self.cfg.sam_enabled || now >= self.horizon {
+            return Ok(());
+        }
+        let active: Vec<usize> = (0..self.contracts.len())
+            .filter(|&i| self.contracts[i].active_at(now))
+            .collect();
+        if active.is_empty() {
+            return Ok(());
+        }
+        let to = active
+            .iter()
+            .map(|&i| self.contracts[i].params.deadline + 1)
+            .max()
+            .unwrap()
+            .min(self.horizon);
+        let jobs: Vec<Job> = active
+            .iter()
+            .map(|&i| {
+                let c = &self.contracts[i];
+                Job::new(i, self.contract_paths[i].clone(), c.params.start.max(now), c.params.deadline, c.lambda, c.guarantee_remaining(), c.demand_remaining())
+            })
+            .collect();
+        let state = &self.state;
+        let capacity = |e: EdgeId, t: Timestep| state.sellable_capacity(e, t);
+        let realized_fn = |e: EdgeId, t: Timestep| realized.at(e, t);
+        let problem = ScheduleProblem {
+            net: &self.net,
+            grid: &self.grid,
+            from: now,
+            to,
+            jobs: &jobs,
+            capacity: &capacity,
+            realized: &realized_fn,
+            topk: self.cfg.topk,
+            cost_scale: self.cfg.cost_scale,
+        };
+        let sol = schedule::solve(&problem)?;
+        // Install the new plans.
+        self.state.clear_reservations_from(now);
+        for (j, &i) in active.iter().enumerate() {
+            self.contracts[i].plan = sol.flows[j].clone();
+            for &(pi, t, units) in &sol.flows[j] {
+                for &e in self.contract_paths[i][pi].edges() {
+                    let amount = units.min(self.state.available(e, t));
+                    self.state.reserve(e, t, amount);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Execute the planned flows of timestep `now`: usage is recorded and
+    /// contract `delivered` counters advance. Returns the total units
+    /// moved.
+    pub fn execute_step(&mut self, now: Timestep, usage: &mut UsageTracker) -> f64 {
+        let mut total = 0.0;
+        for (i, c) in self.contracts.iter_mut().enumerate() {
+            for &(pi, t, units) in &c.plan {
+                if t != now {
+                    continue;
+                }
+                for &e in self.contract_paths[i][pi].edges() {
+                    usage.record(e, now, units);
+                }
+                c.delivered += units;
+                total += units;
+            }
+        }
+        total
+    }
+
+    /// PC (§4.3): at the start of a window, solve the offline welfare LP
+    /// over the look-back period and set future prices from the capacity
+    /// duals of the reference window, floored at per-edge marginal cost.
+    pub fn run_pc(&mut self, now: Timestep) -> Result<(), SolveError> {
+        debug_assert_eq!(self.grid.step_in_window(now), 0, "PC runs at window starts");
+        let w_now = self.grid.window_of(now);
+        if w_now == 0 {
+            return Ok(());
+        }
+        let lookback = self.cfg.lookback_windows.max(1).min(w_now);
+        let lb_start = self.grid.window_start(w_now - lookback);
+        // Jobs: every contract whose transfer window intersects the
+        // look-back period, with the marginal accepted price as its value.
+        // Crucially the job carries the request's *full* demand, not just
+        // the purchased amount: units a customer declined at the margin are
+        // worth ≈λ, and it is exactly this excess demand that makes
+        // hindsight capacity rows bind and their duals (the new prices)
+        // rise on congested links — the self-correcting loop of §4.3.
+        let jobs: Vec<Job> = self
+            .contracts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.params.start < now && c.params.deadline >= lb_start)
+            .map(|(i, c)| Job::new(i, self.contract_paths[i].clone(), c.params.start.max(lb_start), c.params.deadline.min(now - 1), c.lambda, 0.0, c.params.demand.max(c.purchased)))
+            .collect();
+        if jobs.is_empty() {
+            return Ok(());
+        }
+        let state = &self.state;
+        let capacity = |e: EdgeId, t: Timestep| state.sellable_capacity(e, t);
+        let zero = |_: EdgeId, _: Timestep| 0.0;
+        let problem = ScheduleProblem {
+            net: &self.net,
+            grid: &self.grid,
+            from: lb_start,
+            to: now,
+            jobs: &jobs,
+            capacity: &capacity,
+            realized: &zero,
+            topk: self.cfg.topk,
+            cost_scale: self.cfg.cost_scale,
+        };
+        let sol = schedule::solve(&problem)?;
+        // Reference window: the pattern carried into the future.
+        let back = match self.cfg.reference {
+            ReferenceWindow::Previous => 1,
+            ReferenceWindow::WindowsBack(n) => n.max(1),
+        }
+        .min(w_now);
+        let ref_start = self.grid.window_start(w_now - back);
+        for e in self.net.edge_ids() {
+            let floor = price_floor(&self.net, &self.grid, &self.cfg, e);
+            for t in now..self.horizon {
+                let t_ref = ref_start + self.grid.step_in_window(t);
+                // Full dual price: congestion shadow price plus marginal
+                // percentile cost (C_e/k on the window's top-k steps).
+                let p = sol.price(e, t_ref).max(floor);
+                self.state.set_price(e, t, p);
+            }
+        }
+        self.pc_runs += 1;
+        Ok(())
+    }
+
+    /// Inject a high-pri surge / fault: remove `fraction` of an edge's
+    /// capacity from the sellable pool over `[from, to)` (§4.4). A fraction
+    /// of 1.0 models a full link failure.
+    pub fn inject_capacity_loss(&mut self, e: EdgeId, from: Timestep, to: Timestep, fraction: f64) {
+        assert!((0.0..=1.0).contains(&fraction));
+        let cap = self.net.edge(e).capacity;
+        for t in from..to.min(self.horizon) {
+            self.state.set_highpri(e, t, cap * fraction);
+        }
+    }
+
+    /// Sum of all locked-in payments.
+    pub fn total_payments(&self) -> f64 {
+        self.contracts.iter().map(|c| c.payment).sum()
+    }
+
+    /// Override the internal price of `(e, t)`. Used by experiments that
+    /// study externally chosen price patterns (e.g. the Figure 2 worked
+    /// example) — normal operation lets the price computer manage prices.
+    pub fn set_price(&mut self, e: EdgeId, t: Timestep, p: f64) {
+        self.state.set_price(e, t, p);
+    }
+
+    /// Seed every window's prices from a per-(edge, step-in-window)
+    /// pattern, flooring at the per-edge price floor. Used to warm-start a
+    /// run from a previous day's learned prices (the production system
+    /// would have weeks of history; a fresh simulation has none).
+    pub fn seed_prices(&mut self, pattern: impl Fn(EdgeId, usize) -> f64) {
+        for e in self.net.edge_ids() {
+            let floor = price_floor(&self.net, &self.grid, &self.cfg, e);
+            for t in 0..self.horizon {
+                let p = pattern(e, self.grid.step_in_window(t)).max(floor);
+                self.state.set_price(e, t, p);
+            }
+        }
+    }
+}
+
+/// Per-edge price floor: the configured constant plus, for percentile
+/// links, the *average-cost* share of a unit riding a flat usage profile
+/// (`C_e / W`). The marginal cost of a unit below the current 95th
+/// percentile is zero, but quoting below average cost would leave the
+/// provider unable to recover its percentile bill — the floor keeps every
+/// pct-crossing unit paying at least its flat share, while congestion and
+/// peak-riding surcharges enter through the dual prices.
+pub fn price_floor(net: &Network, grid: &TimeGrid, cfg: &PretiumConfig, e: EdgeId) -> f64 {
+    let flat = net.edge(e).cost.unit_cost() * cfg.cost_scale / grid.steps_per_window as f64;
+    cfg.price_floor + flat
+}
+
+/// Cold-start price of an edge (used before the first PC run): the floor,
+/// optionally scaled.
+pub fn initial_price(net: &Network, grid: &TimeGrid, cfg: &PretiumConfig, e: EdgeId) -> f64 {
+    price_floor(net, grid, cfg, e) * cfg.initial_price_scale
+}

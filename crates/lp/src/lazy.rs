@@ -1,0 +1,153 @@
+//! Violated-row (lazy constraint) generation.
+//!
+//! Pretium's scheduling LPs contain one capacity row per `(link, timestep)`
+//! pair — `|E|·T` rows, of which only the congested few percent ever bind.
+//! Instead of materializing all of them, [`solve_with_rows`] solves a
+//! relaxation, asks a [`RowGen`] callback for rows the tentative optimum
+//! violates, adds them, and repeats until the optimum is feasible for the
+//! full row set. The final solution (and its duals, with absent rows having
+//! dual zero by construction) is optimal for the full problem.
+
+use crate::model::{Cmp, Model, RowId};
+use crate::solution::{Solution, SolveError};
+use crate::LinExpr;
+
+/// One row requested by a generator.
+#[derive(Debug, Clone)]
+pub struct RowRequest {
+    pub name: String,
+    pub expr: LinExpr,
+    pub cmp: Cmp,
+    pub rhs: f64,
+    /// Caller-chosen key so duals of generated rows can be identified later
+    /// (e.g. the `(link, timestep)` pair of a capacity row).
+    pub key: u64,
+}
+
+/// Generates rows violated by a tentative solution.
+pub trait RowGen {
+    /// Inspect `sol` and return rows it violates (empty when none). The
+    /// callback must be *monotone*: it may not retract rows it returned
+    /// before (they stay in the model).
+    fn violated(&mut self, model: &Model, sol: &Solution) -> Vec<RowRequest>;
+}
+
+impl<F> RowGen for F
+where
+    F: FnMut(&Model, &Solution) -> Vec<RowRequest>,
+{
+    fn violated(&mut self, model: &Model, sol: &Solution) -> Vec<RowRequest> {
+        self(model, sol)
+    }
+}
+
+/// Result of a lazy solve: the final solution plus the mapping from
+/// generator keys to the row ids that were materialized.
+#[derive(Debug, Clone)]
+pub struct LazyOutcome {
+    pub solution: Solution,
+    /// `(key, row)` for every row added by the generator, in insertion
+    /// order. Rows never generated are implicitly non-binding (dual 0).
+    pub generated: Vec<(u64, RowId)>,
+    /// Number of solve rounds (≥ 1).
+    pub rounds: u32,
+}
+
+/// Solve `model` to optimality over its explicit rows **plus** all rows the
+/// generator can produce, materializing only violated ones.
+///
+/// `max_rounds` bounds the generation loop; if it is exhausted while rows
+/// are still violated, `SolveError::IterationLimit` is returned.
+pub fn solve_with_rows(
+    model: &mut Model,
+    gen: &mut dyn RowGen,
+    max_rounds: u32,
+) -> Result<LazyOutcome, SolveError> {
+    let mut generated = Vec::new();
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        let solution = model.solve()?;
+        let violated = gen.violated(model, &solution);
+        if violated.is_empty() {
+            return Ok(LazyOutcome { solution, generated, rounds });
+        }
+        if rounds >= max_rounds {
+            return Err(SolveError::IterationLimit { iterations: rounds as u64 });
+        }
+        for r in violated {
+            let id = model.add_row(&r.name, r.expr, r.cmp, r.rhs);
+            generated.push((r.key, id));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Model, Sense};
+
+    /// max x + y with hidden rows x <= 3, y <= 2, x + y <= 4 generated
+    /// lazily; explicit model only bounds vars at 10.
+    #[test]
+    fn converges_to_full_problem_optimum() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 10.0, 1.0);
+        let y = m.add_var("y", 0.0, 10.0, 1.0);
+        let hidden: Vec<(LinExpr, f64, u64)> = vec![
+            (LinExpr::from(x), 3.0, 0),
+            (LinExpr::from(y), 2.0, 1),
+            (x + y, 4.0, 2),
+        ];
+        let mut gen = move |model: &Model, sol: &Solution| {
+            hidden
+                .iter()
+                .filter(|(e, rhs, _)| e.eval(sol.values()) > rhs + 1e-7)
+                .map(|(e, rhs, k)| RowRequest {
+                    name: format!("h{k}"),
+                    expr: e.clone(),
+                    cmp: Cmp::Le,
+                    rhs: *rhs,
+                    key: *k,
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                // deduplicate against rows already added
+                .filter(|r| !(0..model.num_rows()).any(|i| model.row_name(RowId::from_index(i)) == r.name))
+                .collect()
+        };
+        let out = solve_with_rows(&mut m, &mut gen, 10).unwrap();
+        assert!((out.solution.objective() - 4.0).abs() < 1e-7);
+        assert!(out.rounds >= 2, "should need at least one generation round");
+    }
+
+    #[test]
+    fn no_violations_returns_first_solution() {
+        let mut m = Model::new(Sense::Maximize);
+        let _x = m.add_var("x", 0.0, 1.0, 1.0);
+        let mut gen = |_: &Model, _: &Solution| Vec::new();
+        let out = solve_with_rows(&mut m, &mut gen, 5).unwrap();
+        assert_eq!(out.rounds, 1);
+        assert!((out.solution.objective() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn round_limit_enforced() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 10.0, 1.0);
+        // Pathological generator: always "violated", adds ever-looser rows.
+        let mut n = 0u64;
+        let mut gen = move |_: &Model, _: &Solution| {
+            n += 1;
+            vec![RowRequest {
+                name: format!("r{n}"),
+                expr: LinExpr::from(x),
+                cmp: Cmp::Le,
+                rhs: 100.0 + n as f64,
+                key: n,
+            }]
+        };
+        let err = solve_with_rows(&mut m, &mut gen, 3).unwrap_err();
+        assert!(matches!(err, SolveError::IterationLimit { .. }));
+    }
+}

@@ -1,0 +1,53 @@
+//! # pretium-lp — a self-contained LP solver with exact duals
+//!
+//! This crate replaces the commercial solver (Gurobi) used in the Pretium
+//! paper ("Dynamic Pricing and Traffic Engineering for Timely
+//! Inter-Datacenter Transfers", SIGCOMM 2016). Pretium's price computer
+//! sets link prices to the **dual values** of capacity constraints, so the
+//! solver must return exact basic duals — which the revised simplex method
+//! provides naturally.
+//!
+//! ## What's inside
+//!
+//! * [`Model`] — incremental LP builder (variables with bounds, linear
+//!   rows, max/min objective) with operator-overloaded [`LinExpr`]s.
+//! * [`simplex`] — bounded-variable revised simplex: dense `LU` basis
+//!   factorization with a product-form eta file, crash basis, two phases,
+//!   Dantzig pricing with a Bland's-rule anti-cycling fallback.
+//! * [`lazy`] — violated-row generation: solve with a subset of rows and
+//!   add capacity rows only when a tentative optimum violates them. The
+//!   schedule LPs in Pretium have `|E|·T` capacity rows of which only a few
+//!   percent ever bind; this keeps basis sizes small.
+//! * [`validate`] — independent optimality checks (primal feasibility,
+//!   dual feasibility, complementary slackness) used heavily in tests.
+//!
+//! ## Example
+//!
+//! ```
+//! use pretium_lp::{Model, Sense, Cmp};
+//!
+//! // max 3x + 2y  s.t.  x + y <= 4,  x + 3y <= 6,  x,y >= 0
+//! let mut m = Model::new(Sense::Maximize);
+//! let x = m.add_nonneg("x", 3.0);
+//! let y = m.add_nonneg("y", 2.0);
+//! let r1 = m.add_row("r1", x + y, Cmp::Le, 4.0);
+//! let _r2 = m.add_row("r2", 1.0 * x + 3.0 * y, Cmp::Le, 6.0);
+//! let sol = m.solve().unwrap();
+//! assert!((sol.objective() - 12.0).abs() < 1e-7);
+//! assert!((sol.value(x) - 4.0).abs() < 1e-7);
+//! // Binding row r1 carries the shadow price of capacity.
+//! assert!(sol.dual(r1) > 0.0);
+//! ```
+
+pub mod expr;
+pub mod lazy;
+pub mod model;
+pub mod simplex;
+pub mod solution;
+pub mod validate;
+
+pub use expr::{LinExpr, Term, Var};
+pub use lazy::{solve_with_rows, RowGen, RowRequest};
+pub use model::{Cmp, Model, RowId, Sense};
+pub use simplex::SimplexOptions;
+pub use solution::{Solution, SolveError, Status};

@@ -1,0 +1,288 @@
+//! LP model builder.
+//!
+//! A [`Model`] collects variables (with bounds and objective coefficients)
+//! and linear constraints, and hands the assembled problem to the
+//! [`crate::simplex`] solver. The model is the single user-facing entry
+//! point of this crate:
+//!
+//! ```
+//! use pretium_lp::{Model, Sense, Cmp};
+//! let mut m = Model::new(Sense::Maximize);
+//! let x = m.add_var("x", 0.0, f64::INFINITY, 3.0);
+//! let y = m.add_var("y", 0.0, f64::INFINITY, 2.0);
+//! m.add_row("r1", 1.0 * x + 1.0 * y, Cmp::Le, 4.0);
+//! m.add_row("r2", 1.0 * x + 3.0 * y, Cmp::Le, 6.0);
+//! let sol = m.solve().unwrap();
+//! assert!((sol.objective() - 12.0).abs() < 1e-7); // x=4, y=0
+//! ```
+
+use crate::expr::{LinExpr, Var};
+use crate::simplex::{solve_model, SimplexOptions};
+use crate::solution::{SolveError, Solution};
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    Minimize,
+    Maximize,
+}
+
+/// Constraint comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `expr <= rhs`
+    Le,
+    /// `expr == rhs`
+    Eq,
+    /// `expr >= rhs`
+    Ge,
+}
+
+/// Handle to a constraint row; used to read dual values from a
+/// [`Solution`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RowId(pub(crate) u32);
+
+impl RowId {
+    /// Dense 0-based row index in creation order.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a raw index (for row-generation callbacks that track
+    /// rows positionally).
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        RowId(i as u32)
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct VarData {
+    pub name: String,
+    pub lb: f64,
+    pub ub: f64,
+    pub obj: f64,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct RowData {
+    pub name: String,
+    /// Compacted terms: `(var index, coefficient)`, ascending by index.
+    pub terms: Vec<(u32, f64)>,
+    pub cmp: Cmp,
+    pub rhs: f64,
+}
+
+/// A linear program under construction.
+#[derive(Debug, Clone)]
+pub struct Model {
+    pub(crate) sense: Sense,
+    pub(crate) vars: Vec<VarData>,
+    pub(crate) rows: Vec<RowData>,
+    /// Constant offset accumulated from expression constants; added back to
+    /// the reported objective value.
+    pub(crate) obj_offset: f64,
+    options: SimplexOptions,
+}
+
+impl Model {
+    /// Create an empty model with the given optimization sense.
+    pub fn new(sense: Sense) -> Self {
+        Model {
+            sense,
+            vars: Vec::new(),
+            rows: Vec::new(),
+            obj_offset: 0.0,
+            options: SimplexOptions::default(),
+        }
+    }
+
+    /// The optimization sense.
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    /// Mutable access to solver options (tolerances, iteration limits).
+    pub fn options_mut(&mut self) -> &mut SimplexOptions {
+        &mut self.options
+    }
+
+    /// Solver options in effect.
+    pub fn options(&self) -> &SimplexOptions {
+        &self.options
+    }
+
+    /// Add a variable with bounds `[lb, ub]` and objective coefficient
+    /// `obj`. Use `f64::NEG_INFINITY` / `f64::INFINITY` for free directions.
+    ///
+    /// # Panics
+    /// Panics if `lb > ub` or either bound is NaN.
+    pub fn add_var(&mut self, name: &str, lb: f64, ub: f64, obj: f64) -> Var {
+        assert!(!lb.is_nan() && !ub.is_nan(), "variable bound is NaN");
+        assert!(lb <= ub, "variable `{name}` has lb {lb} > ub {ub}");
+        let idx = self.vars.len();
+        assert!(idx < u32::MAX as usize, "too many variables");
+        self.vars.push(VarData { name: name.to_string(), lb, ub, obj });
+        Var(idx as u32)
+    }
+
+    /// Convenience: non-negative variable `[0, ∞)`.
+    pub fn add_nonneg(&mut self, name: &str, obj: f64) -> Var {
+        self.add_var(name, 0.0, f64::INFINITY, obj)
+    }
+
+    /// Convenience: free variable `(-∞, ∞)`.
+    pub fn add_free(&mut self, name: &str, obj: f64) -> Var {
+        self.add_var(name, f64::NEG_INFINITY, f64::INFINITY, obj)
+    }
+
+    /// Add the constraint `expr cmp rhs`. Constants inside `expr` are moved
+    /// to the right-hand side. Returns a handle for reading the row's dual
+    /// value.
+    ///
+    /// # Panics
+    /// Panics if the expression references a variable not belonging to this
+    /// model, or if `rhs` is NaN.
+    pub fn add_row(&mut self, name: &str, expr: impl Into<LinExpr>, cmp: Cmp, rhs: f64) -> RowId {
+        assert!(!rhs.is_nan(), "row `{name}` rhs is NaN");
+        let mut expr = expr.into();
+        expr.compact();
+        let mut terms = Vec::with_capacity(expr.len());
+        for t in expr.terms() {
+            assert!(
+                t.var.index() < self.vars.len(),
+                "row `{name}` references unknown variable index {}",
+                t.var.index()
+            );
+            assert!(t.coef.is_finite(), "row `{name}` has non-finite coefficient");
+            terms.push((t.var.0, t.coef));
+        }
+        let idx = self.rows.len();
+        assert!(idx < u32::MAX as usize, "too many rows");
+        self.rows.push(RowData {
+            name: name.to_string(),
+            terms,
+            cmp,
+            rhs: rhs - expr.constant(),
+        });
+        RowId(idx as u32)
+    }
+
+    /// Replace the objective coefficient of `v`.
+    pub fn set_obj(&mut self, v: Var, obj: f64) {
+        self.vars[v.index()].obj = obj;
+    }
+
+    /// Replace the bounds of `v`.
+    ///
+    /// # Panics
+    /// Panics if `lb > ub`.
+    pub fn set_bounds(&mut self, v: Var, lb: f64, ub: f64) {
+        assert!(lb <= ub, "set_bounds: lb {lb} > ub {ub}");
+        let d = &mut self.vars[v.index()];
+        d.lb = lb;
+        d.ub = ub;
+    }
+
+    /// Replace the right-hand side of a row.
+    pub fn set_rhs(&mut self, r: RowId, rhs: f64) {
+        self.rows[r.index()].rhs = rhs;
+    }
+
+    /// Add a constant to the objective function (reported in
+    /// [`Solution::objective`]).
+    pub fn add_obj_offset(&mut self, c: f64) {
+        self.obj_offset += c;
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraint rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Name of a variable (as given to [`Model::add_var`]).
+    pub fn var_name(&self, v: Var) -> &str {
+        &self.vars[v.index()].name
+    }
+
+    /// Name of a row.
+    pub fn row_name(&self, r: RowId) -> &str {
+        &self.rows[r.index()].name
+    }
+
+    /// Bounds of a variable.
+    pub fn bounds(&self, v: Var) -> (f64, f64) {
+        let d = &self.vars[v.index()];
+        (d.lb, d.ub)
+    }
+
+    /// Objective coefficient of a variable.
+    pub fn obj_coef(&self, v: Var) -> f64 {
+        self.vars[v.index()].obj
+    }
+
+    /// Evaluate a row's left-hand side under an assignment.
+    pub fn row_lhs(&self, r: RowId, values: &[f64]) -> f64 {
+        self.rows[r.index()]
+            .terms
+            .iter()
+            .map(|&(j, c)| c * values[j as usize])
+            .sum()
+    }
+
+    /// Solve the model to optimality with the revised simplex method.
+    pub fn solve(&self) -> Result<Solution, SolveError> {
+        solve_model(self, &self.options)
+    }
+
+    /// Solve with explicit options (leaves the model's stored options
+    /// untouched).
+    pub fn solve_with(&self, options: &SimplexOptions) -> Result<Solution, SolveError> {
+        solve_model(self, options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_constant_moves_to_rhs() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 10.0, 1.0);
+        // x + 5 <= 8  ==  x <= 3
+        m.add_row("r", 1.0 * x + 5.0, Cmp::Le, 8.0);
+        assert_eq!(m.rows[0].rhs, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lb")]
+    fn inverted_bounds_panic() {
+        let mut m = Model::new(Sense::Minimize);
+        m.add_var("x", 1.0, 0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown variable")]
+    fn foreign_var_panics() {
+        let mut m = Model::new(Sense::Minimize);
+        let _x = m.add_var("x", 0.0, 1.0, 0.0);
+        let mut other = Model::new(Sense::Minimize);
+        other.add_row("r", 1.0 * Var(5), Cmp::Le, 1.0);
+    }
+
+    #[test]
+    fn duplicate_terms_merged_in_row() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, 1.0, 0.0);
+        m.add_row("r", 1.0 * x + 2.0 * x, Cmp::Le, 1.0);
+        assert_eq!(m.rows[0].terms, vec![(0, 3.0)]);
+    }
+}

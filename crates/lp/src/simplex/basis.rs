@@ -1,0 +1,675 @@
+//! Basis factorization for the revised simplex method.
+//!
+//! LP bases from network scheduling problems are extremely sparse: most
+//! basic columns are slacks (singletons) and the rest are short flow
+//! columns. A dense `O(m³)` LU would dominate total solve time, so the
+//! factorization here uses the classic *triangularization* pre-pass:
+//!
+//! 1. repeatedly pivot columns that have a single nonzero in the remaining
+//!    rows — each such pivot costs `O(nnz)` and produces an upper-triangular
+//!    leading block `U11` (all other entries of a pivoted column live in
+//!    previously pivoted rows);
+//! 2. the residual *bump* `B22` (typically a small fraction of `m`) is
+//!    factorized densely with partial pivoting.
+//!
+//! After row/column permutations `P·B·Q = [U11 B12; 0 B22]`, both solve
+//! kernels run sparse substitution through `U11`/`B12` and a dense solve
+//! on the bump. Pivot updates are absorbed into a product-form *eta file*;
+//! the factorization is rebuilt once the file grows past a limit.
+//!
+//! The two solve kernels are the classic simplex primitives:
+//! * `ftran`: solve `B·w = a` (entering column in basis coordinates),
+//! * `btran`: solve `yᵀ·B = cᵀ` (simplex multipliers / duals).
+
+/// Sparse column: `(row, value)` pairs, rows strictly increasing.
+pub type SparseCol = Vec<(u32, f64)>;
+
+/// One product-form update: `B_new = B_old · E` where `E` is the identity
+/// with column `pos` replaced by the FTRAN'd entering column `w`.
+#[derive(Debug, Clone)]
+struct Eta {
+    /// Basis position that was replaced.
+    pos: usize,
+    /// `w[pos]` (the pivot element).
+    pivot: f64,
+    /// Remaining nonzeros of `w` (positions != `pos`).
+    other: Vec<(u32, f64)>,
+}
+
+/// Errors from factorization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FactorError {
+    /// The basis matrix is numerically singular; the offending elimination
+    /// step is reported.
+    Singular { position: usize },
+}
+
+/// Triangular-plus-bump factorization with an eta file.
+#[derive(Debug, Clone)]
+pub struct Factorization {
+    m: usize,
+    /// Size of the triangular block.
+    nt: usize,
+    /// `row_of_pos[p]` = original row occupying structured position `p`
+    /// (bump rows already account for the dense LU's pivoting).
+    row_of_pos: Vec<usize>,
+    /// `col_of_pos[p]` = basis position (column of `B`) at position `p`.
+    col_of_pos: Vec<usize>,
+    /// Triangular columns: `(diagonal value, entries in earlier positions)`.
+    tri_cols: Vec<(f64, Vec<(u32, f64)>)>,
+    /// For each bump column `q` (0-based within the bump): entries in
+    /// triangular positions.
+    b12: Vec<Vec<(u32, f64)>>,
+    /// Dense row-major `L\U` of the bump (`nb × nb`).
+    bump_fac: Vec<f64>,
+    /// Bump size.
+    nb: usize,
+    etas: Vec<Eta>,
+    /// Rebuild threshold for the eta file.
+    max_etas: usize,
+    /// Absolute pivot tolerance.
+    pivot_tol: f64,
+    /// Scratch buffers reused across solves.
+    scratch: Vec<f64>,
+}
+
+impl Factorization {
+    /// Create an empty factorization for an `m`-row basis.
+    pub fn new(m: usize, max_etas: usize, pivot_tol: f64) -> Self {
+        Factorization {
+            m,
+            nt: 0,
+            row_of_pos: (0..m).collect(),
+            col_of_pos: (0..m).collect(),
+            tri_cols: Vec::new(),
+            b12: Vec::new(),
+            bump_fac: Vec::new(),
+            nb: 0,
+            etas: Vec::new(),
+            max_etas,
+            pivot_tol,
+            scratch: vec![0.0; m],
+        }
+    }
+
+    /// Number of accumulated eta updates since the last refactorization.
+    pub fn eta_count(&self) -> usize {
+        self.etas.len()
+    }
+
+    /// Size of the dense bump after the last refactorization (diagnostic).
+    pub fn bump_size(&self) -> usize {
+        self.nb
+    }
+
+    /// True when the eta file has grown enough that the caller should
+    /// refactorize.
+    pub fn wants_refactor(&self) -> bool {
+        self.etas.len() >= self.max_etas
+    }
+
+    /// Factorize the basis given by `columns` (one sparse column per basis
+    /// position). Clears the eta file.
+    pub fn refactor(&mut self, columns: &[&SparseCol]) -> Result<(), FactorError> {
+        let m = self.m;
+        debug_assert_eq!(columns.len(), m);
+        self.etas.clear();
+        self.tri_cols.clear();
+        self.b12.clear();
+
+        // --- triangularization: pivot singleton columns -------------------
+        // remaining-nonzero count per column, and row -> columns index.
+        let mut cnt: Vec<u32> = vec![0; m];
+        let mut rows_to_cols: Vec<Vec<u32>> = vec![Vec::new(); m];
+        for (j, col) in columns.iter().enumerate() {
+            cnt[j] = col.len() as u32;
+            for &(r, _) in col.iter() {
+                rows_to_cols[r as usize].push(j as u32);
+            }
+        }
+        let mut row_pivoted = vec![false; m];
+        let mut col_pivoted = vec![false; m];
+        // Position assignment.
+        let mut pos_of_row: Vec<u32> = vec![u32::MAX; m];
+        let mut order: Vec<(usize, usize)> = Vec::with_capacity(m); // (col, row)
+        let mut queue: Vec<u32> =
+            (0..m as u32).filter(|&j| cnt[j as usize] == 1).collect();
+        while let Some(j) = queue.pop() {
+            let j = j as usize;
+            if col_pivoted[j] || cnt[j] != 1 {
+                continue;
+            }
+            // Find the single remaining entry.
+            let mut pick: Option<(usize, f64)> = None;
+            for &(r, v) in columns[j].iter() {
+                if !row_pivoted[r as usize] {
+                    pick = Some((r as usize, v));
+                    break;
+                }
+            }
+            let Some((r, v)) = pick else { continue };
+            if v.abs() <= self.pivot_tol {
+                // Too small to pivot on; leave the column for the bump.
+                continue;
+            }
+            col_pivoted[j] = true;
+            row_pivoted[r] = true;
+            pos_of_row[r] = order.len() as u32;
+            order.push((j, r));
+            // Removing row r reduces the remaining count of its columns.
+            for &oj in &rows_to_cols[r] {
+                let oj = oj as usize;
+                if !col_pivoted[oj] {
+                    cnt[oj] -= 1;
+                    if cnt[oj] == 1 {
+                        queue.push(oj as u32);
+                    }
+                }
+            }
+        }
+        let nt = order.len();
+        self.nt = nt;
+
+        // Assign bump rows/columns to positions nt..m.
+        let bump_cols: Vec<usize> = (0..m).filter(|&j| !col_pivoted[j]).collect();
+        let bump_rows: Vec<usize> = (0..m).filter(|&r| !row_pivoted[r]).collect();
+        let nb = bump_cols.len();
+        debug_assert_eq!(nb, bump_rows.len());
+        self.nb = nb;
+        let mut pos_of_bump_row: Vec<u32> = vec![u32::MAX; m];
+        for (i, &r) in bump_rows.iter().enumerate() {
+            pos_of_bump_row[r] = i as u32;
+        }
+
+        // Build triangular column storage (entries land in earlier
+        // positions by construction).
+        self.tri_cols.reserve(nt);
+        for &(j, r) in &order {
+            let mut diag = 0.0;
+            let mut others = Vec::new();
+            for &(er, v) in columns[j].iter() {
+                let er = er as usize;
+                if er == r {
+                    diag = v;
+                } else {
+                    debug_assert!(pos_of_row[er] != u32::MAX, "entry below the triangle");
+                    others.push((pos_of_row[er], v));
+                }
+            }
+            self.tri_cols.push((diag, others));
+        }
+
+        // Build B12 (bump columns' entries in triangular rows) and the
+        // dense bump matrix.
+        self.b12.reserve(nb);
+        self.bump_fac.clear();
+        self.bump_fac.resize(nb * nb, 0.0);
+        for (q, &j) in bump_cols.iter().enumerate() {
+            let mut upper = Vec::new();
+            for &(r, v) in columns[j].iter() {
+                let r = r as usize;
+                if row_pivoted[r] {
+                    upper.push((pos_of_row[r], v));
+                } else {
+                    self.bump_fac[pos_of_bump_row[r] as usize * nb + q] = v;
+                }
+            }
+            self.b12.push(upper);
+        }
+
+        // Dense LU of the bump with partial pivoting (physical row swaps).
+        let mut bump_perm: Vec<usize> = (0..nb).collect();
+        for k in 0..nb {
+            let mut best = k;
+            let mut best_abs = self.bump_fac[k * nb + k].abs();
+            for i in (k + 1)..nb {
+                let a = self.bump_fac[i * nb + k].abs();
+                if a > best_abs {
+                    best_abs = a;
+                    best = i;
+                }
+            }
+            if best_abs <= self.pivot_tol {
+                return Err(FactorError::Singular { position: nt + k });
+            }
+            if best != k {
+                for j in 0..nb {
+                    self.bump_fac.swap(k * nb + j, best * nb + j);
+                }
+                bump_perm.swap(k, best);
+            }
+            let pivot = self.bump_fac[k * nb + k];
+            for i in (k + 1)..nb {
+                let l = self.bump_fac[i * nb + k] / pivot;
+                if l != 0.0 {
+                    self.bump_fac[i * nb + k] = l;
+                    for j in (k + 1)..nb {
+                        self.bump_fac[i * nb + j] -= l * self.bump_fac[k * nb + j];
+                    }
+                }
+            }
+        }
+
+        // Final position maps.
+        self.row_of_pos.clear();
+        self.col_of_pos.clear();
+        for &(j, r) in &order {
+            self.col_of_pos.push(j);
+            self.row_of_pos.push(r);
+        }
+        for i in 0..nb {
+            // bump position i corresponds to pre-pivot bump row
+            // bump_rows[bump_perm[i]] and bump column bump_cols[i].
+            self.col_of_pos.push(bump_cols[i]);
+            self.row_of_pos.push(bump_rows[bump_perm[i]]);
+        }
+        Ok(())
+    }
+
+    /// Solve `B·w = a` where `a` is a sparse column in original row
+    /// coordinates. The result is dense, indexed by basis *position*.
+    pub fn ftran(&self, a: &SparseCol, out: &mut Vec<f64>) {
+        let m = self.m;
+        let mut dense = std::mem::take(&mut vec![0.0; m]);
+        for &(i, v) in a.iter() {
+            dense[i as usize] = v;
+        }
+        self.ftran_dense(&dense, out);
+    }
+
+    /// Like [`Factorization::ftran`] but with a dense right-hand side in
+    /// original row coordinates.
+    pub fn ftran_dense(&self, a: &[f64], out: &mut Vec<f64>) {
+        let m = self.m;
+        let nt = self.nt;
+        let nb = self.nb;
+        out.clear();
+        out.resize(m, 0.0);
+        // rhs in position order: w[p] = a[row_of_pos[p]].
+        let mut w: Vec<f64> = (0..m).map(|p| a[self.row_of_pos[p]]).collect();
+        // Bump solve: B22 y2 = w2 (L then U; unit-diagonal L).
+        if nb > 0 {
+            let f = &self.bump_fac;
+            for i in 0..nb {
+                let mut s = w[nt + i];
+                let row = &f[i * nb..i * nb + i];
+                for (j, &l) in row.iter().enumerate() {
+                    if l != 0.0 {
+                        s -= l * w[nt + j];
+                    }
+                }
+                w[nt + i] = s;
+            }
+            for i in (0..nb).rev() {
+                let mut s = w[nt + i];
+                let row = &f[i * nb..(i + 1) * nb];
+                for (j, &u) in row.iter().enumerate().skip(i + 1) {
+                    if u != 0.0 {
+                        s -= u * w[nt + j];
+                    }
+                }
+                w[nt + i] = s / row[i];
+            }
+            // w1 -= B12 · y2.
+            for (q, col) in self.b12.iter().enumerate() {
+                let y = w[nt + q];
+                if y != 0.0 {
+                    for &(k, v) in col {
+                        w[k as usize] -= v * y;
+                    }
+                }
+            }
+        }
+        // Column-oriented back substitution through U11.
+        for j in (0..nt).rev() {
+            let (diag, ref others) = self.tri_cols[j];
+            let y = w[j] / diag;
+            w[j] = y;
+            if y != 0.0 {
+                for &(k, v) in others {
+                    w[k as usize] -= v * y;
+                }
+            }
+        }
+        // Scatter to basis-position order and apply the eta file.
+        for (p, &c) in self.col_of_pos.iter().enumerate() {
+            out[c] = w[p];
+        }
+        for e in &self.etas {
+            let vr = out[e.pos] / e.pivot;
+            if vr != 0.0 {
+                for &(j, wj) in &e.other {
+                    out[j as usize] -= wj * vr;
+                }
+            }
+            out[e.pos] = vr;
+        }
+    }
+
+    /// Solve `yᵀ·B = cᵀ` where `c` is dense, indexed by basis position.
+    /// The result `y` is dense, indexed by original row.
+    pub fn btran(&self, c: &[f64], out: &mut Vec<f64>) {
+        let m = self.m;
+        let nt = self.nt;
+        let nb = self.nb;
+        // Apply eta transposes in reverse order (position space).
+        let mut cc = c.to_vec();
+        for e in self.etas.iter().rev() {
+            let mut s = cc[e.pos];
+            for &(j, wj) in &e.other {
+                s -= wj * cc[j as usize];
+            }
+            cc[e.pos] = s / e.pivot;
+        }
+        // Permute to structured positions: z[p] = cc[col_of_pos[p]].
+        let mut z: Vec<f64> = (0..m).map(|p| cc[self.col_of_pos[p]]).collect();
+        // U11ᵀ z1 = c1 (forward substitution, column lists become rows of
+        // the transpose).
+        for j in 0..nt {
+            let (diag, ref others) = self.tri_cols[j];
+            let mut s = z[j];
+            for &(k, v) in others {
+                s -= v * z[k as usize];
+            }
+            z[j] = s / diag;
+        }
+        // c2' = c2 - B12ᵀ z1, then B22ᵀ y2 = c2'.
+        if nb > 0 {
+            for (q, col) in self.b12.iter().enumerate() {
+                let mut s = z[nt + q];
+                for &(k, v) in col {
+                    s -= v * z[k as usize];
+                }
+                z[nt + q] = s;
+            }
+            let f = &self.bump_fac;
+            // Solve Uᵀ q = z2 (forward), then Lᵀ w = q (backward).
+            for i in 0..nb {
+                let mut s = z[nt + i];
+                for j in 0..i {
+                    let u = f[j * nb + i];
+                    if u != 0.0 {
+                        s -= u * z[nt + j];
+                    }
+                }
+                z[nt + i] = s / f[i * nb + i];
+            }
+            for i in (0..nb).rev() {
+                let mut s = z[nt + i];
+                for j in (i + 1)..nb {
+                    let l = f[j * nb + i];
+                    if l != 0.0 {
+                        s -= l * z[nt + j];
+                    }
+                }
+                z[nt + i] = s;
+            }
+        }
+        // Un-permute rows: y[row_of_pos[p]] = z[p].
+        out.clear();
+        out.resize(m, 0.0);
+        for (p, &r) in self.row_of_pos.iter().enumerate() {
+            out[r] = z[p];
+        }
+    }
+
+    /// Record a pivot: basis position `pos` is replaced by a column whose
+    /// FTRAN'd representation is `w` (dense, basis-position indexed).
+    ///
+    /// Returns `false` if the pivot element is too small to be stable, in
+    /// which case the caller should refactorize and retry.
+    pub fn update(&mut self, pos: usize, w: &[f64]) -> bool {
+        let pivot = w[pos];
+        if pivot.abs() <= self.pivot_tol {
+            return false;
+        }
+        let other: Vec<(u32, f64)> = w
+            .iter()
+            .enumerate()
+            .filter(|&(j, &v)| j != pos && v != 0.0)
+            .map(|(j, &v)| (j as u32, v))
+            .collect();
+        self.etas.push(Eta { pos, pivot, other });
+        let _ = &self.scratch;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(entries: &[(u32, f64)]) -> SparseCol {
+        entries.to_vec()
+    }
+
+    /// Build a factorization of the given dense matrix (column-major input).
+    fn factor_of(cols: &[Vec<f64>]) -> Factorization {
+        let m = cols.len();
+        let sparse: Vec<SparseCol> = cols
+            .iter()
+            .map(|c| {
+                c.iter()
+                    .enumerate()
+                    .filter(|(_, &v)| v != 0.0)
+                    .map(|(i, &v)| (i as u32, v))
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&SparseCol> = sparse.iter().collect();
+        let mut f = Factorization::new(m, 32, 1e-12);
+        f.refactor(&refs).unwrap();
+        f
+    }
+
+    fn matvec(cols: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
+        let m = cols.len();
+        let mut out = vec![0.0; m];
+        for (j, c) in cols.iter().enumerate() {
+            for i in 0..m {
+                out[i] += c[i] * x[j];
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn ftran_identity() {
+        let cols = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let f = factor_of(&cols);
+        let mut w = Vec::new();
+        f.ftran(&col(&[(0, 3.0), (1, 4.0)]), &mut w);
+        assert_eq!(w, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn ftran_solves_general_3x3() {
+        let cols = vec![
+            vec![2.0, 1.0, 0.0],
+            vec![0.0, 3.0, 1.0],
+            vec![1.0, 0.0, 2.0],
+        ];
+        let f = factor_of(&cols);
+        let a = col(&[(0, 5.0), (1, 4.0), (2, 3.0)]);
+        let mut w = Vec::new();
+        f.ftran(&a, &mut w);
+        let bx = matvec(&cols, &w);
+        for (got, want) in bx.iter().zip([5.0, 4.0, 3.0]) {
+            assert!((got - want).abs() < 1e-10, "{bx:?}");
+        }
+    }
+
+    #[test]
+    fn btran_solves_transpose() {
+        let cols = vec![
+            vec![2.0, 1.0, 0.0],
+            vec![0.0, 3.0, 1.0],
+            vec![1.0, 0.0, 2.0],
+        ];
+        let f = factor_of(&cols);
+        let c = [1.0, 2.0, 3.0];
+        let mut y = Vec::new();
+        f.btran(&c, &mut y);
+        for (j, colj) in cols.iter().enumerate() {
+            let dot: f64 = y.iter().zip(colj).map(|(a, b)| a * b).sum();
+            assert!((dot - c[j]).abs() < 1e-10, "col {j}: {dot} vs {}", c[j]);
+        }
+    }
+
+    #[test]
+    fn triangularization_handles_slack_heavy_basis() {
+        // Mostly unit columns plus two dense ones — mimics an LP basis.
+        let m = 8;
+        let mut cols: Vec<Vec<f64>> = (0..m)
+            .map(|j| {
+                let mut c = vec![0.0; m];
+                c[j] = 1.0;
+                c
+            })
+            .collect();
+        cols[3] = vec![1.0, 0.0, 2.0, 3.0, 0.0, 1.0, 0.0, 0.0];
+        cols[6] = vec![0.0, 1.0, 0.0, 1.0, 2.0, 0.0, 4.0, 1.0];
+        let f = factor_of(&cols);
+        // The bump must be tiny.
+        assert!(f.bump_size() <= 2, "bump {}", f.bump_size());
+        let rhs: Vec<f64> = (0..m).map(|i| (i + 1) as f64).collect();
+        let mut w = Vec::new();
+        f.ftran_dense(&rhs, &mut w);
+        let bx = matvec(&cols, &w);
+        for (got, want) in bx.iter().zip(&rhs) {
+            assert!((got - want).abs() < 1e-9, "{bx:?}");
+        }
+        let c: Vec<f64> = (0..m).map(|i| ((i * 7) % 5) as f64 - 2.0).collect();
+        let mut y = Vec::new();
+        f.btran(&c, &mut y);
+        for (j, colj) in cols.iter().enumerate() {
+            let dot: f64 = y.iter().zip(colj).map(|(a, b)| a * b).sum();
+            assert!((dot - c[j]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fully_triangular_basis_has_empty_bump() {
+        // Columns form a permuted triangular system.
+        let cols = vec![
+            vec![1.0, 2.0, 0.0],
+            vec![0.0, 3.0, 0.0],
+            vec![0.0, 1.0, 4.0],
+        ];
+        let f = factor_of(&cols);
+        assert_eq!(f.bump_size(), 0);
+        let mut w = Vec::new();
+        f.ftran_dense(&[1.0, 5.0, 8.0], &mut w);
+        let bx = matvec(&cols, &w);
+        for (got, want) in bx.iter().zip([1.0, 5.0, 8.0]) {
+            assert!((got - want).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let cols = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        let sparse: Vec<SparseCol> = cols
+            .iter()
+            .map(|c| c.iter().enumerate().map(|(i, &v)| (i as u32, v)).collect())
+            .collect();
+        let refs: Vec<&SparseCol> = sparse.iter().collect();
+        let mut f = Factorization::new(2, 32, 1e-12);
+        assert!(matches!(f.refactor(&refs), Err(FactorError::Singular { .. })));
+    }
+
+    #[test]
+    fn eta_update_matches_refactor() {
+        let ident = vec![
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ];
+        let mut f = factor_of(&ident);
+        let a = col(&[(0, 1.0), (1, 2.0), (2, 1.0)]);
+        let mut w = Vec::new();
+        f.ftran(&a, &mut w);
+        assert!(f.update(1, &w));
+        let newb = vec![
+            vec![1.0, 0.0, 0.0],
+            vec![1.0, 2.0, 1.0],
+            vec![0.0, 0.0, 1.0],
+        ];
+        let rhs = col(&[(0, 2.0), (1, 7.0), (2, 5.0)]);
+        let mut via_eta = Vec::new();
+        f.ftran(&rhs, &mut via_eta);
+        let fresh = factor_of(&newb);
+        let mut via_fresh = Vec::new();
+        fresh.ftran(&rhs, &mut via_fresh);
+        for (a, b) in via_eta.iter().zip(&via_fresh) {
+            assert!((a - b).abs() < 1e-10, "{via_eta:?} vs {via_fresh:?}");
+        }
+        let c = [3.0, 1.0, -2.0];
+        let mut y1 = Vec::new();
+        let mut y2 = Vec::new();
+        f.btran(&c, &mut y1);
+        fresh.btran(&c, &mut y2);
+        for (a, b) in y1.iter().zip(&y2) {
+            assert!((a - b).abs() < 1e-10, "{y1:?} vs {y2:?}");
+        }
+    }
+
+    #[test]
+    fn tiny_pivot_update_rejected() {
+        let ident = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let mut f = factor_of(&ident);
+        let w = vec![1.0, 1e-15];
+        assert!(!f.update(1, &w));
+    }
+
+    #[test]
+    fn wants_refactor_after_limit() {
+        let ident = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let mut f = factor_of(&ident);
+        f.max_etas = 2;
+        assert!(f.update(0, &[1.0, 0.0]));
+        assert!(!f.wants_refactor());
+        assert!(f.update(1, &[0.0, 1.0]));
+        assert!(f.wants_refactor());
+    }
+
+    /// Randomized cross-check: triangular+bump factorization must solve
+    /// arbitrary sparse systems exactly.
+    #[test]
+    fn random_sparse_systems_roundtrip() {
+        let mut seed = 0xDEADBEEFu64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for trial in 0..20 {
+            let m = 12 + trial % 5;
+            // Diagonal-dominant sparse matrix: invertible with high prob.
+            let mut cols: Vec<Vec<f64>> = vec![vec![0.0; m]; m];
+            for (j, colj) in cols.iter_mut().enumerate() {
+                colj[j] = 2.0 + next();
+                for i in 0..m {
+                    if i != j && next() < 0.2 {
+                        colj[i] = next() - 0.5;
+                    }
+                }
+            }
+            let f = factor_of(&cols);
+            let rhs: Vec<f64> = (0..m).map(|_| next() * 4.0 - 2.0).collect();
+            let mut w = Vec::new();
+            f.ftran_dense(&rhs, &mut w);
+            let bx = matvec(&cols, &w);
+            for (got, want) in bx.iter().zip(&rhs) {
+                assert!((got - want).abs() < 1e-8, "trial {trial}");
+            }
+            let mut y = Vec::new();
+            f.btran(&rhs, &mut y);
+            for (j, colj) in cols.iter().enumerate() {
+                let dot: f64 = y.iter().zip(colj).map(|(a, b)| a * b).sum();
+                assert!((dot - rhs[j]).abs() < 1e-8, "trial {trial} col {j}");
+            }
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Revised simplex method with bounded variables.
+//!
+//! The solver works on a *computational standard form*
+//!
+//! ```text
+//! minimize    cᵀx
+//! subject to  A·x = b          (one slack column per original row)
+//!             l ≤ x ≤ u
+//! ```
+//!
+//! built from a [`crate::Model`]. Feasibility is established with a crash
+//! basis (slacks where the initial residual fits the slack bounds,
+//! artificial columns elsewhere) followed by a phase-1 minimization of the
+//! artificial sum; phase 2 then optimizes the true objective. Dual values
+//! are recovered from the final basis via BTRAN.
+
+pub mod basis;
+mod solver;
+
+use crate::model::{Cmp, Model, Sense};
+use crate::solution::{Solution, SolveError, Status};
+use basis::SparseCol;
+
+/// Tunable solver parameters.
+#[derive(Debug, Clone)]
+pub struct SimplexOptions {
+    /// Primal feasibility tolerance (bound violations up to this are
+    /// accepted).
+    pub feas_tol: f64,
+    /// Reduced-cost (dual feasibility) tolerance.
+    pub opt_tol: f64,
+    /// Smallest acceptable pivot magnitude.
+    pub pivot_tol: f64,
+    /// Hard iteration cap; `0` selects an automatic limit scaled with the
+    /// problem size.
+    pub max_iterations: u64,
+    /// Refactorize the basis after this many eta updates.
+    pub refactor_every: usize,
+    /// Consecutive degenerate pivots before switching to Bland's rule.
+    pub bland_trigger: u32,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        SimplexOptions {
+            feas_tol: 1e-7,
+            opt_tol: 1e-8,
+            pivot_tol: 1e-9,
+            max_iterations: 0,
+            refactor_every: 96,
+            bland_trigger: 1000,
+        }
+    }
+}
+
+/// Standard-form problem fed to the iteration core.
+pub(crate) struct Problem {
+    /// Number of rows (= equality constraints after slack insertion).
+    pub m: usize,
+    /// Total number of columns: structurals, slacks, artificials.
+    pub n: usize,
+    pub nstruct: usize,
+    /// Index of the first slack column.
+    pub slack_start: usize,
+    /// Index of the first artificial column.
+    pub art_start: usize,
+    /// Sparse columns of `A`.
+    pub cols: Vec<SparseCol>,
+    pub lb: Vec<f64>,
+    pub ub: Vec<f64>,
+    /// Phase-2 costs, already converted to minimization sense.
+    pub cost: Vec<f64>,
+    pub b: Vec<f64>,
+}
+
+impl Problem {
+    /// Build the standard form from a model.
+    pub fn from_model(model: &Model) -> Self {
+        let m = model.rows.len();
+        let nstruct = model.vars.len();
+        let slack_start = nstruct;
+        let art_start = nstruct + m;
+        let n = nstruct + 2 * m;
+
+        let mut cols: Vec<SparseCol> = vec![Vec::new(); n];
+        for (i, row) in model.rows.iter().enumerate() {
+            for &(j, coef) in &row.terms {
+                cols[j as usize].push((i as u32, coef));
+            }
+        }
+        let mut lb = Vec::with_capacity(n);
+        let mut ub = Vec::with_capacity(n);
+        let mut cost = vec![0.0; n];
+        let sign = match model.sense {
+            Sense::Minimize => 1.0,
+            Sense::Maximize => -1.0,
+        };
+        for (j, v) in model.vars.iter().enumerate() {
+            lb.push(v.lb);
+            ub.push(v.ub);
+            cost[j] = sign * v.obj;
+        }
+        let mut b = Vec::with_capacity(m);
+        for (i, row) in model.rows.iter().enumerate() {
+            b.push(row.rhs);
+            // Slack column: row + slack = rhs.
+            cols[slack_start + i].push((i as u32, 1.0));
+            let (slb, sub) = match row.cmp {
+                Cmp::Le => (0.0, f64::INFINITY),
+                Cmp::Ge => (f64::NEG_INFINITY, 0.0),
+                Cmp::Eq => (0.0, 0.0),
+            };
+            lb.push(slb);
+            ub.push(sub);
+        }
+        // Artificial columns: sign fixed at crash time by the solver.
+        for i in 0..m {
+            cols[art_start + i].push((i as u32, 1.0));
+            lb.push(0.0);
+            ub.push(0.0); // opened to [0, inf) only for rows that need one
+        }
+        debug_assert_eq!(lb.len(), n);
+        Problem { m, n, nstruct, slack_start, art_start, cols, lb, ub, cost, b }
+    }
+}
+
+/// Solve `model` and map the internal result back to the model's sense and
+/// row/variable handles.
+///
+/// A numerical failure (singular refactorization after eta-file drift on a
+/// heavily degenerate basis) triggers one conservative retry: larger pivot
+/// tolerance, more frequent refactorization, and Bland's rule throughout.
+pub(crate) fn solve_model(model: &Model, options: &SimplexOptions) -> Result<Solution, SolveError> {
+    let attempt = |options: &SimplexOptions| -> Result<(solver::Outcome, Problem), SolveError> {
+        let mut problem = Problem::from_model(model);
+        let out = solver::run(&mut problem, options, |i| model.rows[i].name.clone(), |j| {
+            if j < model.vars.len() {
+                model.vars[j].name.clone()
+            } else {
+                format!("slack_{}", j - model.vars.len())
+            }
+        })?;
+        Ok((out, problem))
+    };
+    let (outcome, problem) = match attempt(options) {
+        Ok(s) => s,
+        Err(SolveError::Numerical(_)) => {
+            let conservative = SimplexOptions {
+                pivot_tol: options.pivot_tol.max(1e-8),
+                refactor_every: 32,
+                bland_trigger: 0,
+                ..options.clone()
+            };
+            attempt(&conservative)?
+        }
+        Err(e) => return Err(e),
+    };
+
+    let sign = match model.sense {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+    let values: Vec<f64> = outcome.x[..model.vars.len()].to_vec();
+    let objective: f64 = model
+        .vars
+        .iter()
+        .enumerate()
+        .map(|(j, v)| v.obj * values[j])
+        .sum::<f64>()
+        + model.obj_offset;
+    let duals: Vec<f64> = outcome.y.iter().map(|&y| sign * y).collect();
+    let reduced_costs: Vec<f64> = (0..model.vars.len())
+        .map(|j| sign * outcome.reduced_cost(&problem, j))
+        .collect();
+    Ok(Solution {
+        status: Status::Optimal,
+        objective,
+        values,
+        duals,
+        reduced_costs,
+        iterations: outcome.iterations,
+    })
+}

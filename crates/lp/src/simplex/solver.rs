@@ -1,0 +1,407 @@
+//! The bounded-variable revised simplex iteration core.
+//!
+//! Works on the standard form produced by [`super::Problem::from_model`]:
+//! a crash basis is built first (slacks where the initial residual fits,
+//! artificials elsewhere), then phase 1 minimizes the artificial sum and
+//! phase 2 the true cost vector. Anti-cycling falls back to Bland's rule
+//! after a run of degenerate pivots.
+
+use super::basis::{FactorError, Factorization};
+use super::{Problem, SimplexOptions};
+use crate::solution::SolveError;
+
+/// Where a nonbasic variable currently rests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NbState {
+    Lower,
+    Upper,
+    /// Free variable parked at zero.
+    Free,
+}
+
+/// Result of the iteration core, in internal (minimization) terms.
+pub(crate) struct Outcome {
+    /// Values of all columns (structurals, slacks, artificials).
+    pub x: Vec<f64>,
+    /// Row duals for the internal minimization problem.
+    pub y: Vec<f64>,
+    pub iterations: u64,
+}
+
+impl Outcome {
+    /// Internal reduced cost of column `j`.
+    pub fn reduced_cost(&self, p: &Problem, j: usize) -> f64 {
+        let mut d = p.cost[j];
+        for &(i, v) in &p.cols[j] {
+            d -= self.y[i as usize] * v;
+        }
+        d
+    }
+}
+
+/// What the ratio test decided.
+enum Step {
+    /// Entering variable travels to its opposite bound; no basis change.
+    BoundFlip { t: f64 },
+    /// Basic variable at `position` leaves to `to_upper` after step `t`.
+    Pivot { t: f64, position: usize, to_upper: bool },
+    /// No finite blocking bound: the problem is unbounded.
+    Unbounded,
+}
+
+struct State<'a> {
+    p: &'a mut Problem,
+    opts: &'a SimplexOptions,
+    /// Basic column per row position.
+    basis: Vec<usize>,
+    /// Column -> basis position, or -1 when nonbasic.
+    pos_of: Vec<i32>,
+    /// Current value of every column.
+    x: Vec<f64>,
+    nb: Vec<NbState>,
+    factor: Factorization,
+    iterations: u64,
+    max_iterations: u64,
+    degenerate_run: u32,
+    w: Vec<f64>,
+    y: Vec<f64>,
+}
+
+const ZTOL: f64 = 1e-11;
+const DEGEN_STEP: f64 = 1e-10;
+
+pub(crate) fn run(
+    problem: &mut Problem,
+    opts: &SimplexOptions,
+    row_name: impl Fn(usize) -> String,
+    var_name: impl Fn(usize) -> String,
+) -> Result<Outcome, SolveError> {
+    let m = problem.m;
+    let n = problem.n;
+
+    // --- crash: place nonbasics at bounds, pick slack or artificial basis --
+    let mut x = vec![0.0; n];
+    let mut nb = vec![NbState::Lower; n];
+    for j in 0..problem.art_start {
+        if problem.lb[j].is_finite() {
+            x[j] = problem.lb[j];
+            nb[j] = NbState::Lower;
+        } else if problem.ub[j].is_finite() {
+            x[j] = problem.ub[j];
+            nb[j] = NbState::Upper;
+        } else {
+            x[j] = 0.0;
+            nb[j] = NbState::Free;
+        }
+    }
+    // Residual b - A·x over nonbasic structurals (slacks rest at 0).
+    let mut beta = problem.b.clone();
+    for j in 0..problem.nstruct {
+        if x[j] != 0.0 {
+            for &(i, v) in &problem.cols[j] {
+                beta[i as usize] -= v * x[j];
+            }
+        }
+    }
+    let mut basis = Vec::with_capacity(m);
+    let mut pos_of = vec![-1i32; n];
+    let mut need_phase1 = false;
+    for (i, &beta_i) in beta.iter().enumerate() {
+        let s = problem.slack_start + i;
+        if beta_i >= problem.lb[s] - opts.feas_tol && beta_i <= problem.ub[s] + opts.feas_tol {
+            x[s] = beta_i;
+            basis.push(s);
+            pos_of[s] = i as i32;
+        } else {
+            let a = problem.art_start + i;
+            let sign = if beta_i >= 0.0 { 1.0 } else { -1.0 };
+            problem.cols[a] = vec![(i as u32, sign)];
+            problem.ub[a] = f64::INFINITY;
+            x[a] = beta_i.abs();
+            basis.push(a);
+            pos_of[a] = i as i32;
+            need_phase1 = true;
+        }
+    }
+
+    let max_iterations = if opts.max_iterations > 0 {
+        opts.max_iterations
+    } else {
+        20_000 + 100 * (m as u64 + problem.nstruct as u64)
+    };
+
+    let factor = Factorization::new(m, opts.refactor_every, opts.pivot_tol);
+    let mut st = State {
+        p: problem,
+        opts,
+        basis,
+        pos_of,
+        x,
+        nb,
+        factor,
+        iterations: 0,
+        max_iterations,
+        degenerate_run: 0,
+        w: Vec::new(),
+        y: Vec::new(),
+    };
+    st.refactor().map_err(|e| numerical(e, &row_name))?;
+
+    // --- phase 1 ----------------------------------------------------------
+    if need_phase1 {
+        let phase1_cost: Vec<f64> = (0..n)
+            .map(|j| if j >= st.p.art_start && st.p.ub[j] > 0.0 { 1.0 } else { 0.0 })
+            .collect();
+        st.iterate(&phase1_cost, true, &var_name, &row_name)?;
+        let residual: f64 = (st.p.art_start..n).map(|j| st.x[j].max(0.0)).sum();
+        let scale = 1.0 + st.p.b.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
+        if residual > st.opts.feas_tol * scale {
+            return Err(SolveError::Infeasible { residual });
+        }
+    }
+    // Close all artificials for phase 2 and snap them to zero.
+    for j in st.p.art_start..n {
+        st.p.ub[j] = 0.0;
+        st.x[j] = 0.0;
+    }
+
+    // --- phase 2 ----------------------------------------------------------
+    let phase2_cost = st.p.cost.clone();
+    st.iterate(&phase2_cost, false, &var_name, &row_name)?;
+
+    // Final duals from a fresh factorization for accuracy.
+    st.refactor().map_err(|e| numerical(e, &row_name))?;
+    let cb: Vec<f64> = st.basis.iter().map(|&k| phase2_cost[k]).collect();
+    let mut y = Vec::new();
+    st.factor.btran(&cb, &mut y);
+
+    Ok(Outcome { x: st.x, y, iterations: st.iterations })
+}
+
+fn numerical(e: FactorError, row_name: &impl Fn(usize) -> String) -> SolveError {
+    match e {
+        FactorError::Singular { position } => SolveError::Numerical(format!(
+            "singular basis at elimination step {position} (row {})",
+            row_name(position)
+        )),
+    }
+}
+
+impl<'a> State<'a> {
+    /// Rebuild the LU factorization from the current basis and refresh the
+    /// basic variable values from scratch (removes accumulated drift).
+    fn refactor(&mut self) -> Result<(), FactorError> {
+        {
+            let cols: Vec<_> = self.basis.iter().map(|&k| &self.p.cols[k]).collect();
+            self.factor.refactor(&cols)?;
+        }
+        // x_B = B⁻¹ (b - N x_N)
+        let mut r = self.p.b.clone();
+        for j in 0..self.p.n {
+            if self.pos_of[j] < 0 && self.x[j] != 0.0 {
+                for &(i, v) in &self.p.cols[j] {
+                    r[i as usize] -= v * self.x[j];
+                }
+            }
+        }
+        let mut xb = Vec::new();
+        self.factor.ftran_dense(&r, &mut xb);
+        for (pos, &k) in self.basis.iter().enumerate() {
+            self.x[k] = xb[pos];
+        }
+        Ok(())
+    }
+
+    /// Run simplex iterations with the given cost vector until optimal.
+    fn iterate(
+        &mut self,
+        cost: &[f64],
+        phase1: bool,
+        var_name: &impl Fn(usize) -> String,
+        row_name: &impl Fn(usize) -> String,
+    ) -> Result<(), SolveError> {
+        loop {
+            if self.iterations >= self.max_iterations {
+                return Err(SolveError::IterationLimit { iterations: self.iterations });
+            }
+            if self.factor.wants_refactor() {
+                self.refactor().map_err(|e| numerical(e, row_name))?;
+            }
+            // Simplex multipliers y = c_B B⁻¹.
+            let cb: Vec<f64> = self.basis.iter().map(|&k| cost[k]).collect();
+            {
+                let factor = &self.factor;
+                factor.btran(&cb, &mut self.y);
+            }
+            let bland = self.degenerate_run > self.opts.bland_trigger;
+            let Some((j, d)) = self.price(cost, bland) else {
+                return Ok(()); // optimal for this phase
+            };
+            // Direction of travel for the entering variable.
+            let sigma = match self.nb[j] {
+                NbState::Lower => 1.0,
+                NbState::Upper => -1.0,
+                NbState::Free => {
+                    if d < 0.0 {
+                        1.0
+                    } else {
+                        -1.0
+                    }
+                }
+            };
+            {
+                let (p, factor, w) = (&*self.p, &self.factor, &mut self.w);
+                factor.ftran(&p.cols[j], w);
+            }
+            match self.ratio_test(j, sigma, bland) {
+                Step::Unbounded => {
+                    if phase1 {
+                        return Err(SolveError::Numerical(
+                            "phase-1 objective unbounded (internal error)".into(),
+                        ));
+                    }
+                    return Err(SolveError::Unbounded { var: var_name(j.min(self.p.nstruct)) });
+                }
+                Step::BoundFlip { t } => {
+                    self.apply_step(j, sigma, t);
+                    self.x[j] = if sigma > 0.0 { self.p.ub[j] } else { self.p.lb[j] };
+                    self.nb[j] = if sigma > 0.0 { NbState::Upper } else { NbState::Lower };
+                    self.note_step(t);
+                }
+                Step::Pivot { t, position, to_upper } => {
+                    self.apply_step(j, sigma, t);
+                    let entering_value = self.x[j] + sigma * t;
+                    let leaving = self.basis[position];
+                    // Snap the leaving variable exactly onto its bound.
+                    self.x[leaving] =
+                        if to_upper { self.p.ub[leaving] } else { self.p.lb[leaving] };
+                    self.nb[leaving] = if to_upper { NbState::Upper } else { NbState::Lower };
+                    self.pos_of[leaving] = -1;
+                    self.basis[position] = j;
+                    self.pos_of[j] = position as i32;
+                    self.x[j] = entering_value;
+                    if !self.factor.update(position, &self.w) {
+                        // Pivot too small for a stable eta: rebuild and, if
+                        // the basis went bad, surface a numerical error.
+                        self.refactor().map_err(|e| numerical(e, row_name))?;
+                    }
+                    self.note_step(t);
+                }
+            }
+            self.iterations += 1;
+        }
+    }
+
+    /// Move all basic variables along the FTRAN direction by step `t`.
+    fn apply_step(&mut self, _entering: usize, sigma: f64, t: f64) {
+        if t == 0.0 {
+            return;
+        }
+        for (pos, &k) in self.basis.iter().enumerate() {
+            let wi = self.w[pos];
+            if wi != 0.0 {
+                self.x[k] -= sigma * t * wi;
+            }
+        }
+    }
+
+    fn note_step(&mut self, t: f64) {
+        if t <= DEGEN_STEP {
+            self.degenerate_run = self.degenerate_run.saturating_add(1);
+        } else {
+            self.degenerate_run = 0;
+        }
+    }
+
+    /// Choose an entering column: Dantzig (most negative effective reduced
+    /// cost) or, under Bland's rule, the smallest eligible index.
+    fn price(&self, cost: &[f64], bland: bool) -> Option<(usize, f64)> {
+        let tol = self.opts.opt_tol;
+        let mut best: Option<(usize, f64, f64)> = None; // (j, d, score)
+        for j in 0..self.p.n {
+            if self.pos_of[j] >= 0 {
+                continue;
+            }
+            // Fixed columns (incl. closed artificials) can never improve.
+            if self.p.lb[j] == self.p.ub[j] {
+                continue;
+            }
+            let mut d = cost[j];
+            for &(i, v) in &self.p.cols[j] {
+                d -= self.y[i as usize] * v;
+            }
+            let eligible = match self.nb[j] {
+                NbState::Lower => d < -tol,
+                NbState::Upper => d > tol,
+                NbState::Free => d.abs() > tol,
+            };
+            if !eligible {
+                continue;
+            }
+            if bland {
+                return Some((j, d));
+            }
+            let score = d.abs();
+            if best.as_ref().is_none_or(|&(_, _, s)| score > s) {
+                best = Some((j, d, score));
+            }
+        }
+        best.map(|(j, d, _)| (j, d))
+    }
+
+    /// Bounded-variable ratio test for entering column `j` moving in
+    /// direction `sigma` along `self.w`.
+    fn ratio_test(&self, j: usize, sigma: f64, bland: bool) -> Step {
+        let p = &self.p;
+        // Bound-flip limit for the entering variable itself.
+        let own_range = p.ub[j] - p.lb[j];
+        let mut t_best = if own_range.is_finite() { own_range } else { f64::INFINITY };
+        let mut leave: Option<(usize, bool, f64)> = None; // (position, to_upper, |w|)
+        for (pos, &wi) in self.w.iter().enumerate() {
+            if wi.abs() <= ZTOL {
+                continue;
+            }
+            let k = self.basis[pos];
+            let delta = sigma * wi; // x_k moves by -t·delta
+            let (t, to_upper) = if delta > 0.0 {
+                if p.lb[k] == f64::NEG_INFINITY {
+                    continue;
+                }
+                (((self.x[k] - p.lb[k]) / delta).max(0.0), false)
+            } else {
+                if p.ub[k] == f64::INFINITY {
+                    continue;
+                }
+                (((p.ub[k] - self.x[k]) / -delta).max(0.0), true)
+            };
+            let better = if bland {
+                // Smallest t; ties by smallest variable index (Bland).
+                t < t_best - ZTOL
+                    || (t <= t_best + ZTOL
+                        && leave.as_ref().is_none_or(|&(lp, _, _)| k < self.basis[lp]))
+            } else {
+                // Smallest t; ties by largest pivot magnitude (stability).
+                t < t_best - ZTOL
+                    || (t <= t_best + ZTOL && leave.as_ref().is_none_or(|&(_, _, wa)| wi.abs() > wa))
+            };
+            if t <= t_best + ZTOL && better {
+                t_best = t.min(t_best);
+                leave = Some((pos, to_upper, wi.abs()));
+            }
+        }
+        if t_best.is_infinite() {
+            return Step::Unbounded;
+        }
+        match leave {
+            // The entering variable reaches its own opposite bound first.
+            None => Step::BoundFlip { t: t_best },
+            Some((position, to_upper, _)) => {
+                if own_range.is_finite() && own_range < t_best - ZTOL {
+                    Step::BoundFlip { t: own_range }
+                } else {
+                    Step::Pivot { t: t_best, position, to_upper }
+                }
+            }
+        }
+    }
+}

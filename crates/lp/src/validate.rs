@@ -1,0 +1,188 @@
+//! Independent optimality certification.
+//!
+//! Given a model and a candidate [`Solution`], these checks certify
+//! optimality *without* trusting the solver's internal state:
+//!
+//! 1. **Primal feasibility** — every row and bound holds within tolerance.
+//! 2. **Dual feasibility** — row duals have the sign their row type
+//!    requires, and every variable's reduced cost `c_j - yᵀA_j` is
+//!    consistent with the bound the variable rests at.
+//! 3. **Complementary slackness** — slack rows have (near-)zero duals and
+//!    interior variables have (near-)zero reduced costs.
+//!
+//! Together these are the KKT conditions for linear programming, which are
+//! sufficient for global optimality. The test suites of every downstream
+//! crate call [`assert_optimal`] on solver output.
+
+use crate::model::{Cmp, Model, RowId, Sense};
+use crate::solution::Solution;
+use crate::Var;
+
+/// A violated optimality condition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    RowInfeasible { row: String, lhs: f64, cmp: Cmp, rhs: f64 },
+    BoundInfeasible { var: String, value: f64, lb: f64, ub: f64 },
+    DualSign { row: String, dual: f64, cmp: Cmp },
+    ReducedCostSign { var: String, reduced: f64, at: &'static str },
+    Slackness { what: String, product: f64 },
+    ObjectiveMismatch { reported: f64, recomputed: f64 },
+}
+
+/// Check all KKT conditions; returns every violation found.
+pub fn check_optimal(model: &Model, sol: &Solution, tol: f64) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let x = sol.values();
+    let sense_sign = match model.sense() {
+        Sense::Maximize => 1.0,
+        Sense::Minimize => -1.0,
+    };
+    // Scale tolerance by data magnitude for robustness on large problems.
+    let scale = |v: f64| tol * (1.0 + v.abs());
+
+    // 1. Primal feasibility.
+    for i in 0..model.num_rows() {
+        let r = RowId::from_index(i);
+        let lhs = model.row_lhs(r, x);
+        let rhs = row_rhs(model, i);
+        let cmp = row_cmp(model, i);
+        let ok = match cmp {
+            Cmp::Le => lhs <= rhs + scale(rhs),
+            Cmp::Ge => lhs >= rhs - scale(rhs),
+            Cmp::Eq => (lhs - rhs).abs() <= scale(rhs),
+        };
+        if !ok {
+            out.push(Violation::RowInfeasible { row: model.row_name(r).into(), lhs, cmp, rhs });
+        }
+    }
+    for j in 0..model.num_vars() {
+        let v = Var::from_index(j);
+        let (lb, ub) = model.bounds(v);
+        let val = x[j];
+        if val < lb - scale(lb) || val > ub + scale(ub) {
+            out.push(Violation::BoundInfeasible { var: model.var_name(v).into(), value: val, lb, ub });
+        }
+    }
+
+    // 2. Dual sign conditions. With duals defined as d(obj)/d(rhs) in the
+    // model's own sense: for Maximize, a <= row must have dual >= 0 and a
+    // >= row dual <= 0 (Minimize flips both). Equality rows are free.
+    for i in 0..model.num_rows() {
+        let r = RowId::from_index(i);
+        let dual = sol.dual(r);
+        let cmp = row_cmp(model, i);
+        let signed = sense_sign * dual;
+        let ok = match cmp {
+            Cmp::Le => signed >= -tol,
+            Cmp::Ge => signed <= tol,
+            Cmp::Eq => true,
+        };
+        if !ok {
+            out.push(Violation::DualSign { row: model.row_name(r).into(), dual, cmp });
+        }
+    }
+
+    // 3. Reduced-cost sign + complementary slackness for variables.
+    // reduced = c_j - yᵀ A_j (model sense). At optimum of a Maximize model:
+    // at lower bound => reduced <= 0, at upper bound => reduced >= 0,
+    // strictly interior => reduced == 0.
+    for j in 0..model.num_vars() {
+        let v = Var::from_index(j);
+        let reduced = recompute_reduced(model, sol, j);
+        let (lb, ub) = model.bounds(v);
+        let val = x[j];
+        let at_lb = lb.is_finite() && (val - lb).abs() <= scale(lb);
+        let at_ub = ub.is_finite() && (val - ub).abs() <= scale(ub);
+        let rtol = tol * (1.0 + model.obj_coef(v).abs()) * 10.0;
+        let s = sense_sign * reduced;
+        if at_lb && at_ub {
+            // Fixed variable: any reduced cost is fine.
+        } else if at_lb {
+            if s > rtol {
+                out.push(Violation::ReducedCostSign { var: model.var_name(v).into(), reduced, at: "lower" });
+            }
+        } else if at_ub {
+            if s < -rtol {
+                out.push(Violation::ReducedCostSign { var: model.var_name(v).into(), reduced, at: "upper" });
+            }
+        } else if s.abs() > rtol {
+            out.push(Violation::Slackness { what: format!("interior var {}", model.var_name(v)), product: reduced });
+        }
+    }
+
+    // 4. Row slackness: non-binding row => dual ~ 0.
+    for i in 0..model.num_rows() {
+        let r = RowId::from_index(i);
+        let cmp = row_cmp(model, i);
+        if cmp == Cmp::Eq {
+            continue;
+        }
+        let lhs = model.row_lhs(r, x);
+        let rhs = row_rhs(model, i);
+        let slack = (rhs - lhs).abs();
+        let dual = sol.dual(r);
+        if slack > 1e-5 * (1.0 + rhs.abs()) && dual.abs() > 1e-5 * (1.0 + dual.abs()) {
+            let product = slack * dual;
+            if product.abs() > tol * 100.0 * (1.0 + rhs.abs()) {
+                out.push(Violation::Slackness { what: format!("row {}", model.row_name(r)), product });
+            }
+        }
+    }
+
+    // 5. Objective consistency.
+    let recomputed: f64 = (0..model.num_vars())
+        .map(|j| model.obj_coef(Var::from_index(j)) * x[j])
+        .sum::<f64>()
+        + model.obj_offset;
+    if (recomputed - sol.objective()).abs() > tol * (1.0 + recomputed.abs()) * 10.0 {
+        out.push(Violation::ObjectiveMismatch { reported: sol.objective(), recomputed });
+    }
+
+    out
+}
+
+/// Panic with a readable report if any KKT condition fails.
+pub fn assert_optimal(model: &Model, sol: &Solution, tol: f64) {
+    let violations = check_optimal(model, sol, tol);
+    assert!(
+        violations.is_empty(),
+        "solution fails {} optimality condition(s):\n{:#?}",
+        violations.len(),
+        violations
+    );
+}
+
+/// Recompute a variable's reduced cost from duals (does not trust the
+/// solver's stored reduced costs).
+pub fn recompute_reduced(model: &Model, sol: &Solution, j: usize) -> f64 {
+    let v = Var::from_index(j);
+    let mut d = model.obj_coef(v);
+    for i in 0..model.num_rows() {
+        let r = RowId::from_index(i);
+        let coef = row_coef(model, i, j);
+        if coef != 0.0 {
+            d -= sol.dual(r) * coef;
+        }
+    }
+    d
+}
+
+// -- small accessors over the model's internals (kept here so `Model`'s
+//    public surface stays minimal) --
+
+fn row_cmp(model: &Model, i: usize) -> Cmp {
+    model.rows[i].cmp
+}
+
+fn row_rhs(model: &Model, i: usize) -> f64 {
+    model.rows[i].rhs
+}
+
+fn row_coef(model: &Model, i: usize, j: usize) -> f64 {
+    model.rows[i]
+        .terms
+        .iter()
+        .find(|&&(v, _)| v as usize == j)
+        .map(|&(_, c)| c)
+        .unwrap_or(0.0)
+}

@@ -1,0 +1,120 @@
+//! Link cost models (§3.1 / §4.2 of the paper).
+//!
+//! Two kinds of links exist on a production inter-DC WAN:
+//!
+//! * **Owned** links: capital expense fixed at capacity-planning time. Their
+//!   cost does not vary with usage, so it drops out of the social-welfare
+//!   objective (which only compares *operating* costs across schedules).
+//! * **Percentile** links, leased from upstream ISPs: billed on the 95th
+//!   percentile of per-timestep usage over a billing window (typically a
+//!   day). This is the non-convex cost the paper approximates with the
+//!   *sum-of-top-k* proxy (average usage over the top 10% of timesteps).
+
+use serde::{Deserialize, Serialize};
+
+/// The billing percentile used throughout the paper.
+pub const BILLING_PERCENTILE: f64 = 0.95;
+
+/// Fraction of timesteps in the top-usage average proxy (§4.2: top 10%).
+pub const TOP_FRACTION: f64 = 0.10;
+
+/// How the provider pays for a link.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LinkCost {
+    /// Privately owned; cost fixed at planning time, excluded from welfare.
+    Owned,
+    /// Usage-billed: `unit_cost` dollars per unit of 95th-percentile usage
+    /// per billing window.
+    Percentile {
+        /// Dollars charged per unit of 95th-percentile usage.
+        unit_cost: f64,
+    },
+}
+
+impl LinkCost {
+    /// An owned (fixed-cost) link.
+    pub fn owned() -> Self {
+        LinkCost::Owned
+    }
+
+    /// A percentile-billed link with the given unit cost.
+    ///
+    /// # Panics
+    /// Panics if `unit_cost` is negative or non-finite.
+    pub fn percentile(unit_cost: f64) -> Self {
+        assert!(unit_cost >= 0.0 && unit_cost.is_finite(), "unit_cost must be >= 0 and finite");
+        LinkCost::Percentile { unit_cost }
+    }
+
+    /// The per-unit charge, or 0 for owned links.
+    pub fn unit_cost(&self) -> f64 {
+        match self {
+            LinkCost::Owned => 0.0,
+            LinkCost::Percentile { unit_cost } => *unit_cost,
+        }
+    }
+
+    /// True for usage-billed links.
+    pub fn is_percentile(&self) -> bool {
+        matches!(self, LinkCost::Percentile { .. })
+    }
+
+    /// Operating cost of this link for a usage time series over one billing
+    /// window, using the **true** (non-convex) 95th-percentile rule.
+    pub fn window_cost(&self, usage: &[f64]) -> f64 {
+        match self {
+            LinkCost::Owned => 0.0,
+            LinkCost::Percentile { unit_cost } => {
+                unit_cost * crate::percentile::percentile(usage, BILLING_PERCENTILE)
+            }
+        }
+    }
+
+    /// Operating cost under the paper's sum-of-top-k proxy (`C_e · z_e`
+    /// with `z_e` the mean of the top 10% usage values).
+    pub fn proxy_window_cost(&self, usage: &[f64]) -> f64 {
+        match self {
+            LinkCost::Owned => 0.0,
+            LinkCost::Percentile { unit_cost } => {
+                unit_cost * crate::percentile::top_fraction_mean(usage, TOP_FRACTION)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owned_is_free() {
+        let c = LinkCost::owned();
+        assert_eq!(c.window_cost(&[5.0; 100]), 0.0);
+        assert_eq!(c.unit_cost(), 0.0);
+        assert!(!c.is_percentile());
+    }
+
+    #[test]
+    fn percentile_cost_scales_with_unit_cost() {
+        let usage: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        let c1 = LinkCost::percentile(1.0).window_cost(&usage);
+        let c3 = LinkCost::percentile(3.0).window_cost(&usage);
+        assert!((c3 - 3.0 * c1).abs() < 1e-12);
+        assert!(c1 > 0.0);
+    }
+
+    #[test]
+    fn proxy_upper_bounds_true_cost_on_heavy_tails() {
+        // With a heavy spike, the top-10% mean exceeds the 95th percentile.
+        let mut usage = vec![1.0; 99];
+        usage.push(1000.0);
+        let c = LinkCost::percentile(1.0);
+        assert!(c.proxy_window_cost(&usage) >= c.window_cost(&usage));
+    }
+
+    #[test]
+    #[should_panic(expected = "unit_cost")]
+    fn negative_unit_cost_rejected() {
+        LinkCost::percentile(-1.0);
+    }
+}

@@ -1,0 +1,279 @@
+//! Directed WAN graph: datacenters (nodes) and links (edges) with
+//! capacities and cost models.
+//!
+//! Edges are directed; bidirectional links are modeled as two edges. Each
+//! edge carries a per-timestep capacity (the total volume it can move in
+//! one scheduling timestep) and a [`LinkCost`] describing how the provider
+//! is charged for it (§3.1 of the paper: ~15% of WAN edges are billed on
+//! 95th-percentile usage, the rest have fixed installation costs).
+
+use crate::cost::LinkCost;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a datacenter / site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a directed WAN link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl NodeId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Geographic region of a datacenter; used by the RegionOracle baseline and
+/// by topology generators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Region {
+    NorthAmerica,
+    Europe,
+    Asia,
+    Oceania,
+}
+
+impl Region {
+    /// All regions, in a fixed order.
+    pub const ALL: [Region; 4] =
+        [Region::NorthAmerica, Region::Europe, Region::Asia, Region::Oceania];
+}
+
+/// A datacenter or peering site.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Node {
+    pub name: String,
+    pub region: Region,
+}
+
+/// A directed WAN link.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Edge {
+    pub from: NodeId,
+    pub to: NodeId,
+    /// Volume the link can carry per timestep (e.g. GB per 5-minute step).
+    pub capacity: f64,
+    pub cost: LinkCost,
+}
+
+/// The inter-datacenter WAN.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Network {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+    /// Outgoing edges per node, rebuilt on mutation.
+    #[serde(skip)]
+    out_adj: Vec<Vec<EdgeId>>,
+}
+
+impl Network {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a datacenter.
+    pub fn add_node(&mut self, name: &str, region: Region) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { name: name.to_string(), region });
+        self.out_adj.push(Vec::new());
+        id
+    }
+
+    /// Add a directed link.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is unknown, the endpoints coincide, or the
+    /// capacity is not positive and finite.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, capacity: f64, cost: LinkCost) -> EdgeId {
+        assert!(from.index() < self.nodes.len(), "unknown source node");
+        assert!(to.index() < self.nodes.len(), "unknown target node");
+        assert_ne!(from, to, "self-loop links are not allowed");
+        assert!(capacity > 0.0 && capacity.is_finite(), "capacity must be positive and finite");
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(Edge { from, to, capacity, cost });
+        self.out_adj[from.index()].push(id);
+        id
+    }
+
+    /// Add a bidirectional link (two directed edges with identical
+    /// parameters); returns `(forward, backward)`.
+    pub fn add_duplex(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        capacity: f64,
+        cost: LinkCost,
+    ) -> (EdgeId, EdgeId) {
+        (self.add_edge(a, b, capacity, cost.clone()), self.add_edge(b, a, capacity, cost))
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.index()]
+    }
+
+    /// Mutable access to an edge (used by capacity-planning experiments).
+    pub fn edge_mut(&mut self, id: EdgeId) -> &mut Edge {
+        &mut self.edges[id.index()]
+    }
+
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, &Edge)> {
+        self.edges.iter().enumerate().map(|(i, e)| (EdgeId(i as u32), e))
+    }
+
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Outgoing edges of a node.
+    pub fn out_edges(&self, n: NodeId) -> &[EdgeId] {
+        &self.out_adj[n.index()]
+    }
+
+    /// Rebuild adjacency (needed after deserialization).
+    pub fn rebuild_adjacency(&mut self) {
+        self.out_adj = vec![Vec::new(); self.nodes.len()];
+        for (i, e) in self.edges.iter().enumerate() {
+            self.out_adj[e.from.index()].push(EdgeId(i as u32));
+        }
+    }
+
+    /// Find the edge from `a` to `b`, if any.
+    pub fn find_edge(&self, a: NodeId, b: NodeId) -> Option<EdgeId> {
+        self.out_adj[a.index()]
+            .iter()
+            .copied()
+            .find(|&e| self.edges[e.index()].to == b)
+    }
+
+    /// Edges billed on 95th-percentile usage.
+    pub fn percentile_edges(&self) -> Vec<EdgeId> {
+        self.edges()
+            .filter(|(_, e)| matches!(e.cost, LinkCost::Percentile { .. }))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// True if the regions of the two endpoints differ.
+    pub fn crosses_region(&self, e: EdgeId) -> bool {
+        let edge = self.edge(e);
+        self.node(edge.from).region != self.node(edge.to).region
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_nodes() -> (Network, NodeId, NodeId) {
+        let mut net = Network::new();
+        let a = net.add_node("A", Region::NorthAmerica);
+        let b = net.add_node("B", Region::Europe);
+        (net, a, b)
+    }
+
+    #[test]
+    fn add_nodes_and_edges() {
+        let (mut net, a, b) = two_nodes();
+        let e = net.add_edge(a, b, 10.0, LinkCost::owned());
+        assert_eq!(net.num_nodes(), 2);
+        assert_eq!(net.num_edges(), 1);
+        assert_eq!(net.edge(e).from, a);
+        assert_eq!(net.out_edges(a), &[e]);
+        assert!(net.out_edges(b).is_empty());
+    }
+
+    #[test]
+    fn duplex_adds_both_directions() {
+        let (mut net, a, b) = two_nodes();
+        let (f, r) = net.add_duplex(a, b, 5.0, LinkCost::owned());
+        assert_eq!(net.edge(f).from, a);
+        assert_eq!(net.edge(r).from, b);
+        assert_eq!(net.find_edge(a, b), Some(f));
+        assert_eq!(net.find_edge(b, a), Some(r));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        let (mut net, a, _) = two_nodes();
+        net.add_edge(a, a, 1.0, LinkCost::owned());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn nonpositive_capacity_rejected() {
+        let (mut net, a, b) = two_nodes();
+        net.add_edge(a, b, 0.0, LinkCost::owned());
+    }
+
+    #[test]
+    fn crosses_region_detects_boundaries() {
+        let (mut net, a, b) = two_nodes();
+        let c = net.add_node("C", Region::NorthAmerica);
+        let ab = net.add_edge(a, b, 1.0, LinkCost::owned());
+        let ac = net.add_edge(a, c, 1.0, LinkCost::owned());
+        assert!(net.crosses_region(ab));
+        assert!(!net.crosses_region(ac));
+    }
+
+    #[test]
+    fn percentile_edges_filtered() {
+        let (mut net, a, b) = two_nodes();
+        net.add_edge(a, b, 1.0, LinkCost::owned());
+        let p = net.add_edge(b, a, 1.0, LinkCost::percentile(2.0));
+        assert_eq!(net.percentile_edges(), vec![p]);
+    }
+
+    #[test]
+    fn rebuild_adjacency_roundtrip() {
+        let (mut net, a, b) = two_nodes();
+        net.add_duplex(a, b, 5.0, LinkCost::owned());
+        let json = serde_json::to_string(&net).unwrap();
+        let mut back: Network = serde_json::from_str(&json).unwrap();
+        back.rebuild_adjacency();
+        assert_eq!(back.out_edges(a).len(), 1);
+        assert_eq!(back.out_edges(b).len(), 1);
+    }
+}

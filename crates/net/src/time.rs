@@ -1,0 +1,110 @@
+//! Discrete time: timesteps, billing/pricing windows.
+//!
+//! Time is discretized into fixed-length timesteps (the paper suggests
+//! 5-minute steps, §3.1) grouped into *windows* (e.g. one day) that bound
+//! both percentile billing and price recomputation (§4.3).
+
+use serde::{Deserialize, Serialize};
+
+/// A discrete timestep index from the start of the simulation.
+pub type Timestep = usize;
+
+/// The discretization of time used by every module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimeGrid {
+    /// Timesteps per billing/pricing window (`W` in the paper).
+    pub steps_per_window: usize,
+    /// Wall-clock minutes represented by one timestep (documentation only;
+    /// the solver works in steps).
+    pub minutes_per_step: u32,
+}
+
+impl TimeGrid {
+    /// A grid with `steps_per_window` steps per window.
+    ///
+    /// # Panics
+    /// Panics if `steps_per_window` is zero.
+    pub fn new(steps_per_window: usize, minutes_per_step: u32) -> Self {
+        assert!(steps_per_window > 0, "window must contain at least one step");
+        TimeGrid { steps_per_window, minutes_per_step }
+    }
+
+    /// The paper's default: 5-minute steps, 24-hour windows (288 steps).
+    pub fn paper_default() -> Self {
+        TimeGrid::new(288, 5)
+    }
+
+    /// A coarser grid suitable for the default experiment scale: 30-minute
+    /// steps, 24-hour windows (48 steps).
+    pub fn coarse_default() -> Self {
+        TimeGrid::new(48, 30)
+    }
+
+    /// Which window a timestep falls in.
+    #[inline]
+    pub fn window_of(&self, t: Timestep) -> usize {
+        t / self.steps_per_window
+    }
+
+    /// Position of a timestep within its window.
+    #[inline]
+    pub fn step_in_window(&self, t: Timestep) -> usize {
+        t % self.steps_per_window
+    }
+
+    /// First timestep of a window.
+    #[inline]
+    pub fn window_start(&self, window: usize) -> Timestep {
+        window * self.steps_per_window
+    }
+
+    /// Half-open timestep range of a window.
+    pub fn window_range(&self, window: usize) -> std::ops::Range<Timestep> {
+        self.window_start(window)..self.window_start(window + 1)
+    }
+
+    /// Fraction of the day a timestep corresponds to, in `[0, 1)` — used by
+    /// diurnal traffic generators.
+    #[inline]
+    pub fn day_fraction(&self, t: Timestep) -> f64 {
+        self.step_in_window(t) as f64 / self.steps_per_window as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_arithmetic() {
+        let g = TimeGrid::new(48, 30);
+        assert_eq!(g.window_of(0), 0);
+        assert_eq!(g.window_of(47), 0);
+        assert_eq!(g.window_of(48), 1);
+        assert_eq!(g.step_in_window(50), 2);
+        assert_eq!(g.window_start(2), 96);
+        assert_eq!(g.window_range(1), 48..96);
+    }
+
+    #[test]
+    fn paper_default_is_288_steps() {
+        let g = TimeGrid::paper_default();
+        assert_eq!(g.steps_per_window, 288);
+        assert_eq!(g.minutes_per_step, 5);
+        assert_eq!(g.steps_per_window * g.minutes_per_step as usize, 24 * 60);
+    }
+
+    #[test]
+    fn day_fraction_spans_unit_interval() {
+        let g = TimeGrid::new(4, 360);
+        assert_eq!(g.day_fraction(0), 0.0);
+        assert_eq!(g.day_fraction(1), 0.25);
+        assert_eq!(g.day_fraction(7), 0.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn zero_window_rejected() {
+        TimeGrid::new(0, 5);
+    }
+}

@@ -1,0 +1,571 @@
+//! One runner per table/figure of the paper's evaluation (§6).
+//!
+//! Each function regenerates the corresponding figure's rows/series.
+//! Absolute numbers differ from the paper (our substrate is a synthetic
+//! trace, not the authors' production WAN), but the *shape* — who wins, by
+//! roughly what factor, where crossovers fall — is the reproduction target
+//! (see EXPERIMENTS.md for the paper-vs-measured record).
+
+use crate::report::Series;
+use crate::runner::{run_pretium, PretiumRun, Variant};
+use crate::scenario::{Scenario, ScenarioConfig};
+use pretium_baselines as baselines;
+use pretium_baselines::{Outcome, OfflineConfig, PricedOfflineConfig};
+use pretium_core::PretiumConfig;
+use pretium_lp::SolveError;
+use pretium_net::percentile::{cdf_points, linear_fit, pearson, percentile, top_fraction_mean};
+use pretium_net::{shortest_path, topology, EdgeId, TimeGrid, UsageTracker};
+use pretium_workload::{generate_trace, TrafficConfig, ValueDist};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Default seed for every experiment (override per call for replications).
+pub const DEFAULT_SEED: u64 = 7;
+
+/// The load factors swept by Figures 6, 8, 9 and 11.
+pub const LOAD_FACTORS: [f64; 4] = [0.5, 1.0, 2.0, 4.0];
+
+// ---------------------------------------------------------------------------
+// Figure 1 — CDF of per-link 90th/10th-percentile utilization ratio.
+// ---------------------------------------------------------------------------
+
+/// Route the raw traffic trace over shortest paths (no TE) and report the
+/// CDF of per-link `p90/p10` utilization ratios — the paper's motivation
+/// figure: most links are steady (ratio < 2) but a tail varies by over an
+/// order of magnitude.
+pub fn fig1_utilization_ratio_cdf(seed: u64) -> Vec<(f64, f64)> {
+    let net = topology::default_eval(seed);
+    let grid = TimeGrid::coarse_default();
+    let cfg = TrafficConfig { horizon: grid.steps_per_window * 7, seed, ..Default::default() };
+    let trace = generate_trace(&net, &grid, &cfg);
+    let mut usage = UsageTracker::new(net.num_edges(), cfg.horizon);
+    for pair in &trace.pairs {
+        let Some(path) = shortest_path(&net, pair.src, pair.dst, &|_| 1.0) else {
+            continue;
+        };
+        for (t, &d) in pair.demand.iter().enumerate() {
+            for &e in &path {
+                usage.record(e, t, d);
+            }
+        }
+    }
+    let ratios = usage.p90_over_p10_ratios(&net, 0.005);
+    cdf_points(&ratios)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5 — top-10% mean (z_e) vs 95th percentile (y_e) correlation.
+// ---------------------------------------------------------------------------
+
+/// Result of one distribution's z/y comparison.
+#[derive(Debug, Clone)]
+pub struct ProxyFit {
+    pub distribution: String,
+    pub pearson: f64,
+    pub slope: f64,
+    pub intercept: f64,
+    /// `(y_e, z_e)` scatter points (one per simulated link).
+    pub points: Vec<(f64, f64)>,
+}
+
+/// For each traffic model (normal, exponential, pareto — §4.2), simulate
+/// per-link usage series, compute `y_e` (95th pct) and `z_e` (top-10%
+/// mean), and fit the linear relation the paper's Figure 5 shows.
+pub fn fig5_topk_proxy(seed: u64) -> Vec<ProxyFit> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let links = 120;
+    let samples = 288;
+    let dists: [(&str, ValueDist); 3] = [
+        ("normal", ValueDist::Normal { mean: 10.0, std: 3.0, floor: 0.0 }),
+        ("exponential", ValueDist::Exponential { mean: 10.0 }),
+        ("pareto", ValueDist::pareto_from_mean_ratio(10.0, 1.5)),
+    ];
+    dists
+        .iter()
+        .map(|(name, dist)| {
+            let mut points = Vec::with_capacity(links);
+            for _ in 0..links {
+                // Per-link scale heterogeneity.
+                let scale = ValueDist::Uniform { lo: 0.2, hi: 3.0 }.sample(&mut rng);
+                let series: Vec<f64> =
+                    (0..samples).map(|_| scale * dist.sample(&mut rng)).collect();
+                let y = percentile(&series, 0.95);
+                let z = top_fraction_mean(&series, 0.10);
+                points.push((y, z));
+            }
+            let ys: Vec<f64> = points.iter().map(|p| p.0).collect();
+            let zs: Vec<f64> = points.iter().map(|p| p.1).collect();
+            let (slope, intercept) = linear_fit(&ys, &zs);
+            ProxyFit {
+                distribution: name.to_string(),
+                pearson: pearson(&ys, &zs),
+                slope,
+                intercept,
+                points,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Scheme comparison machinery shared by Figures 6-11.
+// ---------------------------------------------------------------------------
+
+/// All schemes' outcomes on one scenario.
+pub struct Comparison {
+    pub scenario: Scenario,
+    pub opt: Outcome,
+    pub pretium: PretiumRun,
+    pub no_prices: Outcome,
+    pub region: baselines::RegionOracleResult,
+    pub peak: baselines::PeakOracleResult,
+    pub vcg: Outcome,
+}
+
+impl Comparison {
+    /// Welfare of an outcome under the true percentile costs.
+    pub fn welfare(&self, o: &Outcome) -> f64 {
+        o.welfare(&self.scenario.requests, &self.scenario.net, &self.scenario.grid, 1.0)
+    }
+
+    pub fn profit(&self, o: &Outcome) -> f64 {
+        o.profit(&self.scenario.net, &self.scenario.grid, 1.0)
+    }
+
+    /// `(name, outcome)` pairs in the paper's plotting order.
+    pub fn schemes(&self) -> Vec<(&str, &Outcome)> {
+        vec![
+            ("Pretium", &self.pretium.outcome),
+            ("NoPrices", &self.no_prices),
+            ("RegionOracle", &self.region.outcome),
+            ("PeakOracle", &self.peak.outcome),
+            ("VCGLike", &self.vcg),
+        ]
+    }
+}
+
+/// Run every scheme of §6.1 on one scenario.
+pub fn compare_schemes(config: &ScenarioConfig) -> Result<Comparison, SolveError> {
+    let scenario = config.build();
+    let off = OfflineConfig::default();
+    let priced = PricedOfflineConfig::default();
+    let opt = baselines::opt(&scenario.net, &scenario.grid, scenario.horizon, &scenario.requests, &off)?;
+    let pretium = run_pretium(&scenario, PretiumConfig::default(), Variant::Full)?;
+    let no_prices =
+        baselines::no_prices(&scenario.net, &scenario.grid, scenario.horizon, &scenario.requests, &off)?;
+    let region = baselines::region_oracle(
+        &scenario.net,
+        &scenario.grid,
+        scenario.horizon,
+        &scenario.requests,
+        &priced,
+    )?;
+    let peaks = baselines::peak_steps_from_trace(&scenario.trace, &scenario.grid);
+    let peak = baselines::peak_oracle(
+        &scenario.net,
+        &scenario.grid,
+        scenario.horizon,
+        &scenario.requests,
+        &peaks,
+        &priced,
+    )?;
+    let vcg =
+        baselines::vcg_like(&scenario.net, &scenario.grid, scenario.horizon, &scenario.requests, &priced)?;
+    Ok(Comparison { scenario, opt, pretium, no_prices, region, peak, vcg })
+}
+
+/// Figure 6: welfare relative to OPT vs load factor, for every scheme.
+pub fn fig6_welfare(seed: u64, loads: &[f64]) -> Result<Vec<Series>, SolveError> {
+    sweep_loads(seed, loads, |cmp| {
+        let opt = cmp.welfare(&cmp.opt);
+        cmp.schemes()
+            .into_iter()
+            .map(|(name, o)| (name.to_string(), cmp.welfare(o) / opt))
+            .collect()
+    })
+}
+
+/// Figure 8: provider profit relative to RegionOracle vs load factor.
+/// When RegionOracle's profit is near zero the ratio is meaningless, so
+/// the denominator is floored at 1% of OPT welfare (ratios then read as
+/// "profit in units of 1% of achievable welfare").
+pub fn fig8_profit(seed: u64, loads: &[f64]) -> Result<Vec<Series>, SolveError> {
+    sweep_loads(seed, loads, |cmp| {
+        let floor = (cmp.welfare(&cmp.opt).abs() * 0.01).max(1.0);
+        let base = cmp.profit(&cmp.region.outcome).max(floor);
+        vec![
+            ("Pretium".to_string(), cmp.profit(&cmp.pretium.outcome) / base),
+            ("PeakOracle".to_string(), cmp.profit(&cmp.peak.outcome) / base),
+            ("VCGLike".to_string(), cmp.profit(&cmp.vcg) / base),
+        ]
+    })
+}
+
+/// Figure 9: fraction of requests fully completed vs load factor.
+pub fn fig9_completion(seed: u64, loads: &[f64]) -> Result<Vec<Series>, SolveError> {
+    sweep_loads(seed, loads, |cmp| {
+        cmp.schemes()
+            .into_iter()
+            .map(|(name, o)| (name.to_string(), o.completion_rate(&cmp.scenario.requests)))
+            .collect()
+    })
+}
+
+/// Shared load sweep.
+fn sweep_loads(
+    seed: u64,
+    loads: &[f64],
+    extract: impl Fn(&Comparison) -> Vec<(String, f64)>,
+) -> Result<Vec<Series>, SolveError> {
+    let mut series: Vec<Series> = Vec::new();
+    for &load in loads {
+        let cmp = compare_schemes(&ScenarioConfig::evaluation(seed, load))?;
+        for (name, y) in extract(&cmp) {
+            match series.iter_mut().find(|s| s.name == name) {
+                Some(s) => s.points.push((load, y)),
+                None => series.push(Series::new(&name, vec![(load, y)])),
+            }
+        }
+    }
+    Ok(series)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7 — dynamic prices at work (load factor 2).
+// ---------------------------------------------------------------------------
+
+/// Figure 7a: price and utilization over time on the busiest
+/// percentile-billed link. Returns `(prices, utilizations)` per timestep.
+pub fn fig7a_price_and_utilization(seed: u64) -> Result<(Vec<f64>, Vec<f64>), SolveError> {
+    let scenario = ScenarioConfig::evaluation(seed, 2.0).build();
+    let run = run_pretium(&scenario, PretiumConfig::default(), Variant::Full)?;
+    // Busiest percentile edge by carried volume.
+    let e = scenario
+        .net
+        .percentile_edges()
+        .into_iter()
+        .max_by(|&a, &b| {
+            let ua: f64 = run.outcome.usage.series(a).iter().sum();
+            let ub: f64 = run.outcome.usage.series(b).iter().sum();
+            ua.partial_cmp(&ub).unwrap()
+        })
+        .unwrap_or(EdgeId(0));
+    let prices = run.system.state().price_series(e).to_vec();
+    let util = run.outcome.usage.utilization(&scenario.net, e);
+    Ok((prices, util))
+}
+
+/// Figure 7b: total value captured per value-per-unit bucket, relative to
+/// OPT's capture in the same bucket.
+pub fn fig7b_value_buckets(seed: u64) -> Result<(Vec<f64>, Vec<Series>), SolveError> {
+    let cmp = compare_schemes(&ScenarioConfig::evaluation(seed, 2.0))?;
+    let max_v = cmp
+        .scenario
+        .requests
+        .iter()
+        .map(|r| r.value)
+        .fold(0.0f64, f64::max);
+    let edges: Vec<f64> = (1..=10).map(|i| max_v * i as f64 / 10.0).collect();
+    let opt_buckets = cmp.opt.value_by_bucket(&cmp.scenario.requests, &edges);
+    let mut series = Vec::new();
+    for (name, o) in cmp.schemes() {
+        let buckets = o.value_by_bucket(&cmp.scenario.requests, &edges);
+        let points = edges
+            .iter()
+            .zip(buckets.iter().zip(&opt_buckets))
+            .map(|(&e, (&b, &ob))| (e, if ob > 1e-9 { b / ob } else { 0.0 }))
+            .collect();
+        series.push(Series::new(name, points));
+    }
+    Ok((edges, series))
+}
+
+/// Figure 7c: per-request `(value per unit, average admission price per
+/// unit)` scatter for Pretium-admitted requests.
+pub fn fig7c_price_vs_value(seed: u64) -> Result<Vec<(f64, f64)>, SolveError> {
+    let scenario = ScenarioConfig::evaluation(seed, 2.0).build();
+    let run = run_pretium(&scenario, PretiumConfig::default(), Variant::Full)?;
+    let mut pts = Vec::new();
+    for (i, r) in scenario.requests.iter().enumerate() {
+        if run.outcome.admitted[i] && run.outcome.delivered[i] > 1e-9 {
+            if let Some(ci) = run.contract_of_request[i] {
+                let c = &run.system.contracts()[ci];
+                if c.purchased > 1e-9 {
+                    pts.push((r.value, c.payment / c.purchased));
+                }
+            }
+        }
+    }
+    Ok(pts)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10 — CDF of 90th-percentile link utilization per scheme.
+// ---------------------------------------------------------------------------
+
+pub fn fig10_p90_utilization_cdf(seed: u64) -> Result<Vec<Series>, SolveError> {
+    let cmp = compare_schemes(&ScenarioConfig::evaluation(seed, 2.0))?;
+    let mut series = Vec::new();
+    for (name, o) in cmp.schemes() {
+        let mut p90 = o.usage.p90_utilizations(&cmp.scenario.net);
+        p90.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // Report the per-scheme p90 utilization at each CDF quantile so the
+        // columns are directly comparable (lower is better: the paper's
+        // claim is that Pretium cuts the median link's p90 by ~30%).
+        let n = p90.len();
+        let points = p90
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| ((i + 1) as f64 / n as f64, v))
+            .collect();
+        series.push(Series::new(name, points));
+    }
+    Ok(series)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 11 — ablations: Pretium-NoMenu and Pretium-NoSAM.
+// ---------------------------------------------------------------------------
+
+pub fn fig11_ablations(seed: u64, loads: &[f64]) -> Result<Vec<Series>, SolveError> {
+    let mut series: Vec<Series> = Vec::new();
+    for &load in loads {
+        let config = ScenarioConfig::evaluation(seed, load);
+        let scenario = config.build();
+        let off = OfflineConfig::default();
+        let opt =
+            baselines::opt(&scenario.net, &scenario.grid, scenario.horizon, &scenario.requests, &off)?;
+        let opt_w = opt.welfare(&scenario.requests, &scenario.net, &scenario.grid, 1.0);
+        for variant in [Variant::Full, Variant::NoMenu, Variant::NoSam] {
+            let run = run_pretium(&scenario, PretiumConfig::default(), variant)?;
+            let w = run.outcome.welfare(&scenario.requests, &scenario.net, &scenario.grid, 1.0)
+                / opt_w;
+            match series.iter_mut().find(|s| s.name == variant.label()) {
+                Some(s) => s.points.push((load, w)),
+                None => series.push(Series::new(variant.label(), vec![(load, w)])),
+            }
+        }
+    }
+    Ok(series)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 12 — sensitivity to mean link cost (load factor 1).
+// ---------------------------------------------------------------------------
+
+pub fn fig12_link_cost(seed: u64, cost_scales: &[f64]) -> Result<Vec<Series>, SolveError> {
+    let mut pretium_series = Series::new("Pretium", Vec::new());
+    let mut region_series = Series::new("RegionOracle", Vec::new());
+    for &scale in cost_scales {
+        let scenario = ScenarioConfig::evaluation(seed, 1.0).build();
+        let off = OfflineConfig { cost_scale: scale, ..Default::default() };
+        let priced = PricedOfflineConfig { cost_scale: scale, ..Default::default() };
+        let opt =
+            baselines::opt(&scenario.net, &scenario.grid, scenario.horizon, &scenario.requests, &off)?;
+        let opt_w = opt.welfare(&scenario.requests, &scenario.net, &scenario.grid, scale);
+        let pcfg = PretiumConfig { cost_scale: scale, ..Default::default() };
+        let run = run_pretium(&scenario, pcfg, Variant::Full)?;
+        let region = baselines::region_oracle(
+            &scenario.net,
+            &scenario.grid,
+            scenario.horizon,
+            &scenario.requests,
+            &priced,
+        )?;
+        pretium_series.points.push((
+            scale,
+            run.outcome.welfare(&scenario.requests, &scenario.net, &scenario.grid, scale) / opt_w,
+        ));
+        region_series.points.push((
+            scale,
+            region.outcome.welfare(&scenario.requests, &scenario.net, &scenario.grid, scale)
+                / opt_w,
+        ));
+    }
+    Ok(vec![pretium_series, region_series])
+}
+
+// ---------------------------------------------------------------------------
+// Figures 13/14 — sensitivity to the request-value distribution (load 1).
+// ---------------------------------------------------------------------------
+
+/// One `(μ/σ ratio, welfare rel OPT, profit rel RegionOracle)` row.
+#[derive(Debug, Clone)]
+pub struct ValueDistRow {
+    pub distribution: String,
+    pub mean_over_std: f64,
+    pub pretium_welfare: f64,
+    pub region_welfare: f64,
+    pub profit_ratio: f64,
+}
+
+pub fn fig13_14_value_distributions(
+    seed: u64,
+    ratios: &[f64],
+) -> Result<Vec<ValueDistRow>, SolveError> {
+    let mut rows = Vec::new();
+    for &ratio in ratios {
+        // Same mean as the default evaluation workload so only the shape
+        // and spread of the distribution change across rows.
+        for (dist_name, dist) in [
+            ("normal", ValueDist::normal_from_ratio(0.7, ratio)),
+            ("pareto", ValueDist::pareto_from_mean_ratio(0.7, ratio)),
+        ] {
+            let mut config = ScenarioConfig::evaluation(seed, 1.0);
+            config.requests.value_dist = dist;
+            let scenario = config.build();
+            let off = OfflineConfig::default();
+            let priced = PricedOfflineConfig::default();
+            let opt = baselines::opt(
+                &scenario.net,
+                &scenario.grid,
+                scenario.horizon,
+                &scenario.requests,
+                &off,
+            )?;
+            let opt_w = opt.welfare(&scenario.requests, &scenario.net, &scenario.grid, 1.0);
+            let run = run_pretium(&scenario, PretiumConfig::default(), Variant::Full)?;
+            let region = baselines::region_oracle(
+                &scenario.net,
+                &scenario.grid,
+                scenario.horizon,
+                &scenario.requests,
+                &priced,
+            )?;
+            let opt_scale = (opt_w.abs() * 0.01).max(1.0);
+            let region_profit =
+                region.outcome.profit(&scenario.net, &scenario.grid, 1.0).max(opt_scale);
+            rows.push(ValueDistRow {
+                distribution: dist_name.to_string(),
+                mean_over_std: ratio,
+                pretium_welfare: run
+                    .outcome
+                    .welfare(&scenario.requests, &scenario.net, &scenario.grid, 1.0)
+                    / opt_w,
+                region_welfare: region
+                    .outcome
+                    .welfare(&scenario.requests, &scenario.net, &scenario.grid, 1.0)
+                    / opt_w,
+                profit_ratio: run.outcome.profit(&scenario.net, &scenario.grid, 1.0)
+                    / region_profit,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------------
+// Table 4 — module runtimes.
+// ---------------------------------------------------------------------------
+
+/// Measured runtimes of the three Pretium modules at the default scale.
+#[derive(Debug, Clone)]
+pub struct ModuleRuntimes {
+    /// Per-request quote+accept latency samples (seconds).
+    pub ra: Vec<f64>,
+    /// Per-timestep SAM latency samples.
+    pub sam: Vec<f64>,
+    /// Price-computer latency samples (one per window boundary).
+    pub pc: Vec<f64>,
+}
+
+impl ModuleRuntimes {
+    pub fn median(samples: &[f64]) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let mut v = samples.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    }
+
+    pub fn p95(samples: &[f64]) -> f64 {
+        percentile(samples, 0.95)
+    }
+}
+
+/// Run one Pretium replay, timing each module invocation (Table 4).
+pub fn table4_runtimes(seed: u64, load: f64) -> Result<ModuleRuntimes, SolveError> {
+    use std::time::Instant;
+    let scenario = ScenarioConfig::evaluation(seed, load).build();
+    let mut system = pretium_core::Pretium::new(
+        scenario.net.clone(),
+        scenario.grid,
+        scenario.horizon,
+        PretiumConfig::default(),
+    );
+    let mut usage = UsageTracker::new(scenario.net.num_edges(), scenario.horizon);
+    let mut rt = ModuleRuntimes { ra: Vec::new(), sam: Vec::new(), pc: Vec::new() };
+    let mut next = 0;
+    for t in 0..scenario.horizon {
+        if scenario.grid.step_in_window(t) == 0 && t > 0 {
+            let t0 = Instant::now();
+            system.run_pc(t)?;
+            rt.pc.push(t0.elapsed().as_secs_f64());
+        }
+        while next < scenario.requests.len() && scenario.requests[next].arrival == t {
+            let r = &scenario.requests[next];
+            let params = pretium_core::RequestParams::from(r);
+            let t0 = Instant::now();
+            let menu = system.quote(&params);
+            let units = menu.optimal_purchase(r.value, r.demand);
+            system.accept(&params, &menu, units);
+            rt.ra.push(t0.elapsed().as_secs_f64());
+            next += 1;
+        }
+        let t0 = Instant::now();
+        system.run_sam(t, &usage)?;
+        rt.sam.push(t0.elapsed().as_secs_f64());
+        system.execute_step(t, &mut usage);
+    }
+    Ok(rt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_cdf_is_monotone_with_spread() {
+        let cdf = fig1_utilization_ratio_cdf(3);
+        assert!(!cdf.is_empty());
+        assert!(cdf.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+        // Motivation claim: a spread of ratios exists.
+        let max_ratio = cdf.last().unwrap().0;
+        let min_ratio = cdf.first().unwrap().0;
+        assert!(max_ratio / min_ratio.max(1e-9) > 2.0, "no spread: {min_ratio}..{max_ratio}");
+    }
+
+    #[test]
+    fn fig5_proxy_strongly_correlated() {
+        for fit in fig5_topk_proxy(5) {
+            assert!(
+                fit.pearson > 0.95,
+                "{}: z_e and y_e should be linearly related, r={}",
+                fit.distribution,
+                fit.pearson
+            );
+            // z_e upper-bounds y_e on average: slope >= ~1 with small
+            // intercept relative to the data scale.
+            assert!(fit.slope > 0.9, "{}: slope {}", fit.distribution, fit.slope);
+            // Positive bias: z >= y for the vast majority of links (the
+            // relation is in expectation; sampling noise can flip a few).
+            let above = fit.points.iter().filter(|&&(y, z)| z >= y - 1e-9).count();
+            assert!(
+                above * 10 >= fit.points.len() * 9,
+                "{}: only {above}/{} links with z >= y",
+                fit.distribution,
+                fit.points.len()
+            );
+        }
+    }
+
+    #[test]
+    fn table4_collects_samples() {
+        // Tiny load to keep the test quick.
+        let rt = table4_runtimes(3, 0.2).unwrap();
+        assert!(!rt.ra.is_empty());
+        assert!(!rt.sam.is_empty());
+        assert!(ModuleRuntimes::median(&rt.sam) >= 0.0);
+    }
+}

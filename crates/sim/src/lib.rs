@@ -1,0 +1,24 @@
+//! # pretium-sim — discrete-time replay simulator and experiments
+//!
+//! Glue between the Pretium system, the baselines, and the synthetic
+//! workload:
+//!
+//! * [`scenario`] — seeded world generation (topology + trace + requests)
+//!   so every scheme replays identical inputs.
+//! * [`runner`] — the online Pretium replay loop (RA at arrivals, SAM per
+//!   timestep, PC per window) and the Figure 11 ablation variants.
+//! * [`experiments`] — one regenerator per table/figure of §6.
+//! * [`incentives`] — the §5 misreporting study.
+//! * [`report`] — plain-text rendering of figures/tables.
+
+pub mod experiments;
+pub mod incentives;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+
+pub use experiments::{compare_schemes, Comparison};
+pub use incentives::{analyze_deviations, Deviation, DeviationReport};
+pub use report::{render_ascii_plot, render_figure, render_table, Series};
+pub use runner::{run_pretium, PretiumRun, Variant};
+pub use scenario::{Scenario, ScenarioConfig};

@@ -1,0 +1,90 @@
+//! Constants from the paper's operator/customer survey (Table 1) and the
+//! public cloud price sheet (Table 2).
+//!
+//! These numbers only parameterize the synthetic workload (deadline
+//! strictness, willingness to delay) and the RegionOracle baseline's price
+//! structure; they are reproduced here so every generator cites one source.
+
+/// Table 1 — survey of 15 WAN operators/customers at Microsoft.
+pub mod table1 {
+    /// "Do any transfers require deadlines?" — fraction answering yes.
+    pub const REQUIRE_DEADLINES: f64 = 1.00;
+    /// Average fraction of transfers with *strict* deadlines.
+    pub const STRICT_DEADLINE_FRACTION: f64 = 0.60;
+    /// Fraction incurring a penalty on missed strict deadlines.
+    pub const PENALTY_ON_MISS: f64 = 0.88;
+    /// Fraction who would pay extra for guaranteed deadlines.
+    pub const WOULD_PAY_FOR_GUARANTEES: f64 = 0.64;
+    /// Fraction willing to delay some transfers for a lower price.
+    pub const WILLING_TO_DELAY: f64 = 0.81;
+    /// Fraction willing to use a network with price known only at start.
+    pub const ACCEPT_PRICE_AT_START: f64 = 0.81;
+    /// Number of people surveyed.
+    pub const RESPONDENTS: usize = 15;
+}
+
+/// Table 2 — representative public-cloud WAN bandwidth pricing
+/// (as of 2016-01-25; normalized to $/GB).
+pub mod table2 {
+    /// `(provider, intra-continent $/GB, inter-continent $/GB)`.
+    pub const PRICE_SHEET: [(&str, f64, f64); 3] = [
+        ("ProviderA", 0.02, 0.08),
+        ("ProviderB", 0.01, 0.12),
+        ("ProviderC", 0.02, 0.14),
+    ];
+
+    /// Typical intra-region transfer price used to scale synthetic values.
+    pub const INTRA_REGION_PER_GB: f64 = 0.02;
+    /// Typical inter-region transfer price.
+    pub const INTER_REGION_PER_GB: f64 = 0.10;
+}
+
+/// Render Table 1 as aligned text (used by the quickstart example).
+pub fn format_table1() -> String {
+    let rows = [
+        ("Do any transfers require deadlines?", table1::REQUIRE_DEADLINES),
+        ("Fraction of transfers with strict deadlines", table1::STRICT_DEADLINE_FRACTION),
+        ("Incur penalty on missed strict deadlines", table1::PENALTY_ON_MISS),
+        ("Would pay extra for guaranteed deadlines", table1::WOULD_PAY_FOR_GUARANTEES),
+        ("Willing to delay transfers if price reduced", table1::WILLING_TO_DELAY),
+        ("Accept price known only at transfer start", table1::ACCEPT_PRICE_AT_START),
+    ];
+    let mut out = String::from("Table 1: WAN customer survey (n=15)\n");
+    for (q, v) in rows {
+        out.push_str(&format!("  {q:<46} {:>4.0}%\n", v * 100.0));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_are_probabilities() {
+        for v in [
+            table1::REQUIRE_DEADLINES,
+            table1::STRICT_DEADLINE_FRACTION,
+            table1::PENALTY_ON_MISS,
+            table1::WOULD_PAY_FOR_GUARANTEES,
+            table1::WILLING_TO_DELAY,
+            table1::ACCEPT_PRICE_AT_START,
+        ] {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn price_sheet_inter_exceeds_intra() {
+        for (_, intra, inter) in table2::PRICE_SHEET {
+            assert!(inter > intra);
+        }
+    }
+
+    #[test]
+    fn table1_formats() {
+        let s = format_table1();
+        assert!(s.contains("60%"));
+        assert!(s.lines().count() >= 7);
+    }
+}

@@ -1,0 +1,192 @@
+//! Request-value distributions, implemented directly on top of `rand`'s
+//! uniform source (no external distribution crates).
+//!
+//! The paper draws per-byte values from normal and pareto distributions
+//! with varying mean-to-standard-deviation ratios (§6.1, Figures 13-14).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A distribution over non-negative per-unit values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ValueDist {
+    /// Every draw returns the same value.
+    Fixed(f64),
+    /// Uniform on `[lo, hi]`.
+    Uniform { lo: f64, hi: f64 },
+    /// Normal with the given mean and standard deviation, truncated below
+    /// at `floor` (values cannot be negative).
+    Normal { mean: f64, std: f64, floor: f64 },
+    /// Exponential with the given mean.
+    Exponential { mean: f64 },
+    /// Pareto with shape `alpha` (> 1) and scale `x_m` (> 0).
+    Pareto { alpha: f64, x_m: f64 },
+}
+
+impl ValueDist {
+    /// Normal distribution specified by its mean and the ratio `mean/std`
+    /// (the x-axis of Figures 13-14).
+    pub fn normal_from_ratio(mean: f64, mean_over_std: f64) -> Self {
+        assert!(mean > 0.0 && mean_over_std > 0.0);
+        ValueDist::Normal { mean, std: mean / mean_over_std, floor: mean * 0.01 }
+    }
+
+    /// Pareto distribution with the given mean and `mean/std` ratio.
+    ///
+    /// For Pareto(α, x_m): μ = α·x_m/(α-1) and μ/σ = sqrt(α(α-2)), so
+    /// α = 1 + sqrt(1 + r²) for a target ratio `r` (requires α > 2, i.e.
+    /// any r > 0 works).
+    pub fn pareto_from_mean_ratio(mean: f64, mean_over_std: f64) -> Self {
+        assert!(mean > 0.0 && mean_over_std > 0.0);
+        let r2 = mean_over_std * mean_over_std;
+        let alpha = 1.0 + (1.0 + r2).sqrt();
+        let x_m = mean * (alpha - 1.0) / alpha;
+        ValueDist::Pareto { alpha, x_m }
+    }
+
+    /// Draw one value (always ≥ 0, finite).
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        match *self {
+            ValueDist::Fixed(v) => v,
+            ValueDist::Uniform { lo, hi } => rng.gen_range(lo..=hi),
+            ValueDist::Normal { mean, std, floor } => {
+                (mean + std * standard_normal(rng)).max(floor)
+            }
+            ValueDist::Exponential { mean } => {
+                // Inverse transform: -mean · ln(U), U ∈ (0, 1].
+                let u: f64 = 1.0 - rng.gen::<f64>();
+                -mean * u.ln()
+            }
+            ValueDist::Pareto { alpha, x_m } => {
+                let u: f64 = 1.0 - rng.gen::<f64>();
+                x_m / u.powf(1.0 / alpha)
+            }
+        }
+    }
+
+    /// The distribution's mean.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            ValueDist::Fixed(v) => v,
+            ValueDist::Uniform { lo, hi } => (lo + hi) / 2.0,
+            ValueDist::Normal { mean, .. } => mean,
+            ValueDist::Exponential { mean } => mean,
+            ValueDist::Pareto { alpha, x_m } => {
+                assert!(alpha > 1.0);
+                alpha * x_m / (alpha - 1.0)
+            }
+        }
+    }
+}
+
+/// One standard normal draw via Box-Muller.
+pub fn standard_normal(rng: &mut impl Rng) -> f64 {
+    // Avoid u1 == 0 (ln(0) = -inf).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Lognormal draw: `exp(mu + sigma·Z)`.
+pub fn lognormal(rng: &mut impl Rng, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * standard_normal(rng)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn stats(dist: &ValueDist, n: usize) -> (f64, f64) {
+        let mut rng = StdRng::seed_from_u64(12345);
+        let samples: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        (mean, var.sqrt())
+    }
+
+    #[test]
+    fn fixed_is_constant() {
+        let d = ValueDist::Fixed(3.0);
+        let (m, s) = stats(&d, 100);
+        assert_eq!(m, 3.0);
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn normal_matches_moments() {
+        let d = ValueDist::Normal { mean: 10.0, std: 2.0, floor: 0.0 };
+        let (m, s) = stats(&d, 50_000);
+        assert!((m - 10.0).abs() < 0.1, "mean {m}");
+        assert!((s - 2.0).abs() < 0.1, "std {s}");
+    }
+
+    #[test]
+    fn normal_truncation_respected() {
+        let d = ValueDist::Normal { mean: 1.0, std: 5.0, floor: 0.25 };
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) >= 0.25);
+        }
+    }
+
+    #[test]
+    fn exponential_matches_mean() {
+        let d = ValueDist::Exponential { mean: 4.0 };
+        let (m, s) = stats(&d, 100_000);
+        assert!((m - 4.0).abs() < 0.1, "mean {m}");
+        assert!((s - 4.0).abs() < 0.15, "std {s}"); // exp: std == mean
+    }
+
+    #[test]
+    fn pareto_from_ratio_hits_target_moments() {
+        for ratio in [1.0, 2.0, 4.0] {
+            let d = ValueDist::pareto_from_mean_ratio(5.0, ratio);
+            assert!((d.mean() - 5.0).abs() < 1e-9);
+            let (m, s) = stats(&d, 400_000);
+            assert!((m - 5.0).abs() < 0.15, "ratio {ratio}: mean {m}");
+            let got_ratio = m / s;
+            assert!(
+                (got_ratio - ratio).abs() / ratio < 0.25,
+                "ratio {ratio}: measured {got_ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn normal_from_ratio_hits_target() {
+        let d = ValueDist::normal_from_ratio(8.0, 4.0);
+        let (m, s) = stats(&d, 50_000);
+        assert!((m - 8.0).abs() < 0.1);
+        assert!((m / s - 4.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn samples_are_nonnegative_and_finite() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let dists = [
+            ValueDist::Normal { mean: 1.0, std: 3.0, floor: 0.0 },
+            ValueDist::Exponential { mean: 2.0 },
+            ValueDist::pareto_from_mean_ratio(3.0, 1.5),
+            ValueDist::Uniform { lo: 0.0, hi: 2.0 },
+        ];
+        for d in &dists {
+            for _ in 0..5_000 {
+                let v = d.sample(&mut rng);
+                assert!(v.is_finite() && v >= 0.0, "{d:?} produced {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn standard_normal_is_standard() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| v * v).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+}

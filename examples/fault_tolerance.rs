@@ -1,0 +1,96 @@
+//! Fault robustness (§4.4): admit guaranteed transfers, then fail a link
+//! mid-flight and watch the schedule adjustment module reroute so the
+//! promised deadlines still hold.
+//!
+//! ```text
+//! cargo run --release --example fault_tolerance
+//! ```
+
+use pretium::core::{Pretium, PretiumConfig, RequestParams};
+use pretium::net::{topology, TimeGrid, UsageTracker};
+use pretium::workload::RequestId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let net = topology::default_eval(11);
+    let grid = TimeGrid::coarse_default();
+    let horizon = grid.steps_per_window;
+    let mut system = Pretium::new(net.clone(), grid, horizon, PretiumConfig::default());
+    let mut usage = UsageTracker::new(net.num_edges(), horizon);
+    let mut rng = StdRng::seed_from_u64(5);
+
+    // Admit a batch of guaranteed transfers across the WAN.
+    let mut admitted = Vec::new();
+    for i in 0..12u32 {
+        let src = pretium::net::NodeId(rng.gen_range(0..net.num_nodes() as u32));
+        let dst = loop {
+            let d = pretium::net::NodeId(rng.gen_range(0..net.num_nodes() as u32));
+            if d != src {
+                break d;
+            }
+        };
+        let params = RequestParams {
+            id: RequestId(i),
+            src,
+            dst,
+            demand: rng.gen_range(5.0..30.0),
+            arrival: 0,
+            start: 0,
+            deadline: rng.gen_range(8..horizon - 1),
+        };
+        let menu = system.quote(&params);
+        let units = menu.optimal_purchase(3.0, params.demand);
+        if let Some(id) = system.accept(&params, &menu, units) {
+            admitted.push(id);
+        }
+    }
+    println!("admitted {} guaranteed transfers", admitted.len());
+
+    // Fail the busiest link at t=4 for the rest of the day.
+    let busiest = net
+        .edge_ids()
+        .max_by(|&a, &b| {
+            let ra: f64 = (0..horizon).map(|t| system.state().reserved(a, t)).sum();
+            let rb: f64 = (0..horizon).map(|t| system.state().reserved(b, t)).sum();
+            ra.partial_cmp(&rb).unwrap()
+        })
+        .unwrap();
+    println!(
+        "failing busiest link {busiest} ({} -> {}) from t=4",
+        net.edge(busiest).from,
+        net.edge(busiest).to
+    );
+
+    for t in 0..horizon {
+        if t == 4 {
+            system.inject_capacity_loss(busiest, 4, horizon, 1.0);
+        }
+        system.run_sam(t, &usage).expect("SAM");
+        system.execute_step(t, &mut usage);
+    }
+
+    let mut met = 0;
+    let mut missed = 0;
+    for &id in &admitted {
+        let c = system.contract(id);
+        if c.guarantee_met() {
+            met += 1;
+        } else {
+            missed += 1;
+            println!(
+                "  MISSED {:?}: delivered {:.1} of guaranteed {:.1}",
+                c.params.id, c.delivered, c.guaranteed
+            );
+        }
+    }
+    println!("guarantees met: {met}, missed: {missed}");
+    // No traffic may ride the dead link after the failure.
+    let leaked: f64 = (4..horizon).map(|t| usage.at(busiest, t)).sum();
+    println!("volume on failed link after t=4: {leaked:.3}");
+    assert!(leaked < 1e-9, "SAM must not schedule over a dead link");
+    assert!(
+        usage.capacity_violations(&net, 1e-5).is_empty(),
+        "no capacity violations allowed"
+    );
+}

@@ -1,0 +1,99 @@
+//! Figure 4: price menus for two requests that differ only in their
+//! deadline. The shorter deadline has fewer (path, timestep) slots to
+//! draw on, so every quantity is at least as expensive — the monotonicity
+//! that underpins the truthfulness argument of §5.
+//!
+//! ```text
+//! cargo run --release --example price_menu
+//! ```
+
+use pretium::core::{Pretium, PretiumConfig, PriceBump, RequestParams};
+use pretium::net::{LinkCost, Network, NodeId, Region, TimeGrid};
+use pretium::workload::RequestId;
+
+fn main() {
+    // The Figure 4 setup: S -> T with a direct link and a 2-hop detour,
+    // all capacities 1 unit/step.
+    let mut net = Network::new();
+    let s = net.add_node("S", Region::NorthAmerica);
+    let m = net.add_node("M", Region::NorthAmerica);
+    let t = net.add_node("T", Region::NorthAmerica);
+    let st = net.add_edge(s, t, 1.0, LinkCost::owned());
+    let sm = net.add_edge(s, m, 1.0, LinkCost::owned());
+    let mt = net.add_edge(m, t, 1.0, LinkCost::owned());
+
+    let grid = TimeGrid::new(2, 30);
+    let cfg = PretiumConfig {
+        highpri_fraction: 0.0,
+        bump: PriceBump::disabled(),
+        k_paths: 2,
+        ..Default::default()
+    };
+    let mut system = Pretium::new(net, grid, 2, cfg);
+    // Direct link cheap at step 0, expensive at step 1; detour mid-priced.
+    system.set_price(st, 0, 1.0);
+    system.set_price(st, 1, 3.0);
+    for e in [sm, mt] {
+        system.set_price(e, 0, 1.0);
+        system.set_price(e, 1, 1.5);
+    }
+
+    for (label, deadline) in [("time interval [1,2] (two steps)", 1usize), ("time interval [1,1] (one step)", 0)] {
+        let params = RequestParams {
+            id: RequestId(0),
+            src: NodeId(0),
+            dst: NodeId(2),
+            demand: 4.0,
+            arrival: 0,
+            start: 0,
+            deadline,
+        };
+        let menu = system.quote(&params);
+        println!("Price menu: transfer S->T, {label}");
+        println!("  guarantee bound x̄ = {:.1}", menu.capacity_bound());
+        let mut cum = 0.0;
+        for (price, units) in menu.price_levels() {
+            cum += units;
+            println!("  {units:>4.1} units at {price:>5.2}/unit   (p({cum:.0}) = {:.2})", menu.price(cum));
+        }
+        println!("  beyond x̄: best-effort at {:.2}/unit\n", menu.marginal_at_bound());
+    }
+
+    // Monotonicity check (Theorem 5.1 ingredient).
+    let longer = {
+        let p = RequestParams {
+            id: RequestId(0),
+            src: NodeId(0),
+            dst: NodeId(2),
+            demand: 4.0,
+            arrival: 0,
+            start: 0,
+            deadline: 1,
+        };
+        system.quote(&p)
+    };
+    let shorter = {
+        let p = RequestParams {
+            id: RequestId(0),
+            src: NodeId(0),
+            dst: NodeId(2),
+            demand: 4.0,
+            arrival: 0,
+            start: 0,
+            deadline: 0,
+        };
+        system.quote(&p)
+    };
+    // Monotonicity holds for guaranteed service (up to the shorter menu's
+    // x̄); beyond x̄ quantities are best-effort extrapolations.
+    let xbar = shorter.capacity_bound();
+    let mut x = 0.5;
+    while x <= xbar + 1e-9 {
+        assert!(
+            longer.price(x) <= shorter.price(x) + 1e-9,
+            "longer deadline must never be pricier at x={x}"
+        );
+        x += 0.5;
+    }
+    println!("verified: p_longer(x) <= p_shorter(x) for all x <= x̄ — a shorter deadline never gets a discount");
+}

@@ -1,0 +1,101 @@
+//! Quickstart: stand up a Pretium instance on a small WAN, submit a few
+//! transfer requests, watch the three modules (RA / SAM / PC) do their
+//! jobs, and print the survey + price-sheet tables the paper motivates
+//! the design with.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pretium::core::{Pretium, PretiumConfig, RequestParams};
+use pretium::net::{topology, TimeGrid, UsageTracker};
+use pretium::workload::{survey, RequestId};
+
+fn main() {
+    // The paper's motivation tables.
+    println!("{}", survey::format_table1());
+    println!("Table 2: cloud WAN price sheet ($/GB, as of 2016-01-25)");
+    for (provider, intra, inter) in survey::table2::PRICE_SHEET {
+        println!("  {provider:<12} intra {intra:.2}  inter {inter:.2}");
+    }
+    println!();
+
+    // A ~16-node WAN over three regions, 30-minute timesteps, 2 days.
+    let net = topology::default_eval(42);
+    let grid = TimeGrid::coarse_default();
+    let horizon = grid.steps_per_window * 2;
+    println!(
+        "WAN: {} datacenters, {} directed links ({} percentile-billed)",
+        net.num_nodes(),
+        net.num_edges(),
+        net.percentile_edges().len()
+    );
+    let mut system = Pretium::new(net.clone(), grid, horizon, PretiumConfig::default());
+    let mut usage = UsageTracker::new(net.num_edges(), horizon);
+
+    // Three customers with different values and deadlines.
+    let asks = [
+        // (src, dst, demand, value/unit, start, deadline)
+        (0u32, 9u32, 60.0, 2.0, 0usize, 10usize),
+        (3, 12, 25.0, 0.4, 0, 40),
+        (5, 1, 80.0, 5.0, 2, 6),
+    ];
+    for (i, &(src, dst, demand, value, start, deadline)) in asks.iter().enumerate() {
+        let params = RequestParams {
+            id: RequestId(i as u32),
+            src: pretium::net::NodeId(src),
+            dst: pretium::net::NodeId(dst),
+            demand,
+            arrival: start,
+            start,
+            deadline,
+        };
+        let menu = system.quote(&params);
+        println!(
+            "request {i}: {src}->{dst}, {demand} units by t={deadline}; \
+             x̄={:.1}, cheapest marginal price {:.3}",
+            menu.capacity_bound(),
+            menu.marginal(0.0),
+        );
+        // The Theorem 5.2 user response: buy while marginal price <= value.
+        let units = menu.optimal_purchase(value, demand);
+        match system.accept(&params, &menu, units) {
+            Some(id) => {
+                let c = system.contract(id);
+                println!(
+                    "  accepted {units:.1} units: guaranteed {:.1}, payment {:.2}, λ={:.3}",
+                    c.guaranteed, c.payment, c.lambda
+                );
+            }
+            None => println!("  customer walked away (marginal price above value)"),
+        }
+    }
+
+    // Run the clock: SAM every step, PC at the window boundary.
+    for t in 0..horizon {
+        if grid.step_in_window(t) == 0 && t > 0 {
+            system.run_pc(t).expect("price computation");
+            println!("t={t}: price computer updated link prices from dual values");
+        }
+        system.run_sam(t, &usage).expect("schedule adjustment");
+        system.execute_step(t, &mut usage);
+    }
+
+    println!("\nfinal contract states:");
+    for c in system.contracts() {
+        println!(
+            "  {:?}: delivered {:.1}/{:.1} (guarantee {} — {})",
+            c.params.id,
+            c.delivered,
+            c.purchased,
+            c.guaranteed,
+            if c.guarantee_met() { "met" } else { "MISSED" }
+        );
+    }
+    let violations = usage.capacity_violations(&net, 1e-6);
+    println!(
+        "capacity violations: {} | total payments: {:.2}",
+        violations.len(),
+        system.total_payments()
+    );
+}

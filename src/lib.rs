@@ -1,0 +1,51 @@
+//! # pretium — dynamic pricing + traffic engineering for inter-DC transfers
+//!
+//! Umbrella crate for the reproduction of *"Dynamic Pricing and Traffic
+//! Engineering for Timely Inter-Datacenter Transfers"* (SIGCOMM 2016).
+//! Re-exports the workspace crates under one roof:
+//!
+//! * [`lp`] — self-contained revised-simplex LP solver with exact duals
+//!   (replaces Gurobi).
+//! * [`net`] — WAN substrate: topology, k-shortest paths, percentile link
+//!   costs, usage accounting.
+//! * [`workload`] — synthetic traffic traces and deadline request streams
+//!   (replaces the proprietary NetFlow trace).
+//! * [`core`] — Pretium itself: price menus, request admission, schedule
+//!   adjustment, dual-based price computation, top-k cost encodings.
+//! * [`baselines`] — OPT, NoPrices, RegionOracle, PeakOracle, VCGLike.
+//! * [`sim`] — replay simulator, §6 experiment runners, §5 incentive study.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pretium::core::{Pretium, PretiumConfig, RequestParams};
+//! use pretium::net::{topology, TimeGrid};
+//! use pretium::workload::RequestId;
+//!
+//! let net = topology::default_eval(42);
+//! let grid = TimeGrid::coarse_default();
+//! let mut system = Pretium::new(net, grid, 96, PretiumConfig::default());
+//!
+//! // A customer asks to move 40 units from node 0 to node 5 by step 12.
+//! let params = RequestParams {
+//!     id: RequestId(0),
+//!     src: pretium::net::NodeId(0),
+//!     dst: pretium::net::NodeId(5),
+//!     demand: 40.0,
+//!     arrival: 0,
+//!     start: 0,
+//!     deadline: 12,
+//! };
+//! let menu = system.quote(&params);
+//! let units = menu.optimal_purchase(/*value=*/1.0, params.demand);
+//! if let Some(id) = system.accept(&params, &menu, units) {
+//!     assert!(system.contract(id).guaranteed > 0.0);
+//! }
+//! ```
+
+pub use pretium_baselines as baselines;
+pub use pretium_core as core;
+pub use pretium_lp as lp;
+pub use pretium_net as net;
+pub use pretium_sim as sim;
+pub use pretium_workload as workload;
