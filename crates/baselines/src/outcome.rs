@@ -34,12 +34,14 @@ impl Outcome {
     /// Social welfare (Equation 1): Σ v_i · delivered_i minus the **true**
     /// 95th-percentile operating cost of the realized usage, scaled by
     /// `cost_scale`.
-    pub fn welfare(&self, requests: &[Request], net: &Network, grid: &TimeGrid, cost_scale: f64) -> f64 {
-        let value: f64 = requests
-            .iter()
-            .zip(&self.delivered)
-            .map(|(r, &d)| r.value * d)
-            .sum();
+    pub fn welfare(
+        &self,
+        requests: &[Request],
+        net: &Network,
+        grid: &TimeGrid,
+        cost_scale: f64,
+    ) -> f64 {
+        let value: f64 = requests.iter().zip(&self.delivered).map(|(r, &d)| r.value * d).sum();
         value - cost_scale * self.usage.total_cost(net, grid)
     }
 
@@ -53,11 +55,8 @@ impl Outcome {
         if requests.is_empty() {
             return 0.0;
         }
-        let done = requests
-            .iter()
-            .zip(&self.delivered)
-            .filter(|(r, &d)| d + 1e-6 >= r.demand)
-            .count();
+        let done =
+            requests.iter().zip(&self.delivered).filter(|(r, &d)| d + 1e-6 >= r.demand).count();
         done as f64 / requests.len() as f64
     }
 
@@ -77,10 +76,7 @@ impl Outcome {
     pub fn value_by_bucket(&self, requests: &[Request], edges: &[f64]) -> Vec<f64> {
         let mut sums = vec![0.0; edges.len()];
         for (r, &d) in requests.iter().zip(&self.delivered) {
-            let b = edges
-                .iter()
-                .position(|&e| r.value <= e)
-                .unwrap_or(edges.len() - 1);
+            let b = edges.iter().position(|&e| r.value <= e).unwrap_or(edges.len() - 1);
             sums[b] += r.value * d;
         }
         sums

@@ -29,11 +29,8 @@ pub fn peak_steps_from_trace(trace: &TrafficTrace, grid: &TimeGrid) -> Vec<usize
         sums[grid.step_in_window(t)] += trace.total_at(t);
         counts[grid.step_in_window(t)] += 1;
     }
-    let avgs: Vec<f64> = sums
-        .iter()
-        .zip(&counts)
-        .map(|(&s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
-        .collect();
+    let avgs: Vec<f64> =
+        sums.iter().zip(&counts).map(|(&s, &c)| if c > 0 { s / c as f64 } else { 0.0 }).collect();
     let overall = avgs.iter().sum::<f64>() / w as f64;
     (0..w).filter(|&s| avgs[s] > overall).collect()
 }
@@ -115,11 +112,8 @@ mod tests {
     fn peak_steps_found_from_requests() {
         let grid = TimeGrid::new(4, 30);
         // Heavy arrivals at steps 1 and 2.
-        let requests = vec![
-            req(0, 1.0, 10.0, 1, 3),
-            req(1, 1.0, 12.0, 2, 3),
-            req(2, 1.0, 1.0, 0, 3),
-        ];
+        let requests =
+            vec![req(0, 1.0, 10.0, 1, 3), req(1, 1.0, 12.0, 2, 3), req(2, 1.0, 1.0, 0, 3)];
         let peaks = peak_steps_from_requests(&requests, &grid);
         assert_eq!(peaks, vec![1, 2]);
     }
@@ -133,11 +127,8 @@ mod tests {
         let grid = TimeGrid::new(4, 30);
         // Peak = steps 0-1. High-value tight requests at peak; low-value
         // flexible request that should ride off-peak.
-        let requests = vec![
-            req(0, 6.0, 15.0, 0, 1),
-            req(1, 6.0, 15.0, 0, 1),
-            req(2, 1.0, 10.0, 0, 3),
-        ];
+        let requests =
+            vec![req(0, 6.0, 15.0, 0, 1), req(1, 6.0, 15.0, 0, 1), req(2, 1.0, 10.0, 0, 3)];
         let cfg = PricedOfflineConfig { highpri_fraction: 0.0, ..Default::default() };
         let res = peak_oracle(&net, &grid, 4, &requests, &[0, 1], &cfg).unwrap();
         assert!(res.peak_price >= res.offpeak_price);

@@ -96,8 +96,7 @@ pub fn run_posted_price(
         // low-value traffic clears the posted price but not the true cost.
         let jitter = 1.0 + (r.id.index() % 97) as f64 * 1e-6;
         jobs.push(
-            Job::new(i, p, r.start, deadline, jitter, 0.0, r.demand)
-                .with_allowed_steps(affordable),
+            Job::new(i, p, r.start, deadline, jitter, 0.0, r.demand).with_allowed_steps(affordable),
         );
         job_req.push(i);
     }
@@ -156,8 +155,7 @@ mod tests {
 
     #[test]
     fn candidates_are_value_quantiles() {
-        let requests: Vec<Request> =
-            (0..10).map(|i| req(i, (i + 1) as f64, 1.0, 0, 1)).collect();
+        let requests: Vec<Request> = (0..10).map(|i| req(i, (i + 1) as f64, 1.0, 0, 1)).collect();
         let c = price_candidates(&requests, 5);
         assert_eq!(c[0], 0.0);
         assert!(c.contains(&10.0), "{c:?}");
@@ -173,9 +171,8 @@ mod tests {
         let grid = TimeGrid::new(2, 30);
         let requests = vec![req(0, 5.0, 5.0, 0, 1), req(1, 1.0, 5.0, 0, 1)];
         let cfg = PricedOfflineConfig { highpri_fraction: 0.0, ..Default::default() };
-        let out = run_posted_price(&net, &grid, 2, &requests, &cfg, "t", |_, _| 2.0)
-            .unwrap()
-            .unwrap();
+        let out =
+            run_posted_price(&net, &grid, 2, &requests, &cfg, "t", |_, _| 2.0).unwrap().unwrap();
         assert!((out.delivered[0] - 5.0).abs() < 1e-6);
         assert_eq!(out.delivered[1], 0.0, "value 1 < price 2 must be excluded");
         assert!((out.payments[0] - 10.0).abs() < 1e-6);
@@ -193,9 +190,7 @@ mod tests {
         let price = |_r: &Request, t: Timestep| if t < 2 { 3.0 } else { 0.5 };
         let requests = vec![req(0, 1.0, 30.0, 0, 3)];
         let cfg = PricedOfflineConfig { highpri_fraction: 0.0, ..Default::default() };
-        let out = run_posted_price(&net, &grid, 4, &requests, &cfg, "t", price)
-            .unwrap()
-            .unwrap();
+        let out = run_posted_price(&net, &grid, 4, &requests, &cfg, "t", price).unwrap().unwrap();
         // Only off-peak steps affordable: 2 × 10 = 20 units at 0.5.
         assert!((out.delivered[0] - 20.0).abs() < 1e-6, "{:?}", out.delivered);
         assert!((out.payments[0] - 10.0).abs() < 1e-6);

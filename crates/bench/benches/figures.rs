@@ -3,11 +3,10 @@
 //! stays finite on one core). The full-scale regeneration lives in
 //! `cargo run --release -p pretium-sim --bin reproduce`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pretium_baselines::Outcome;
+use pretium_bench::{black_box, Harness};
 use pretium_sim::experiments;
 use pretium_sim::scenario::ScenarioConfig;
-use std::hint::black_box;
 
 fn tiny_with_load(load: f64) -> ScenarioConfig {
     let mut cfg = ScenarioConfig::tiny(7);
@@ -15,25 +14,23 @@ fn tiny_with_load(load: f64) -> ScenarioConfig {
     cfg
 }
 
-fn bench_fig01(c: &mut Criterion) {
-    c.bench_function("fig01_util_ratio_cdf", |b| {
+fn main() {
+    let mut h = Harness::new().sample_size(10);
+
+    h.bench_function("fig01_util_ratio_cdf", |b| {
         b.iter(|| black_box(experiments::fig1_utilization_ratio_cdf(7).len()));
     });
-}
 
-fn bench_fig05(c: &mut Criterion) {
-    c.bench_function("fig05_topk_proxy", |b| {
+    h.bench_function("fig05_topk_proxy", |b| {
         b.iter(|| {
             let fits = experiments::fig5_topk_proxy(7);
             black_box(fits.iter().map(|f| f.pearson).sum::<f64>())
         });
     });
-}
 
-fn bench_fig06_08_09(c: &mut Criterion) {
     // One scheme comparison covers the welfare (fig 6), profit (fig 8) and
     // completion (fig 9) rows for one load factor.
-    c.bench_function("fig06_08_09_scheme_comparison", |b| {
+    h.bench_function("fig06_08_09_scheme_comparison", |b| {
         b.iter(|| {
             let cmp = experiments::compare_schemes(&tiny_with_load(2.0)).unwrap();
             let opt = cmp.welfare(&cmp.opt);
@@ -41,20 +38,14 @@ fn bench_fig06_08_09(c: &mut Criterion) {
                 .schemes()
                 .iter()
                 .map(|(_, o): &(&str, &Outcome)| {
-                    (
-                        cmp.welfare(o) / opt,
-                        cmp.profit(o),
-                        o.completion_rate(&cmp.scenario.requests),
-                    )
+                    (cmp.welfare(o) / opt, cmp.profit(o), o.completion_rate(&cmp.scenario.requests))
                 })
                 .collect();
             black_box(rows)
         });
     });
-}
 
-fn bench_fig07(c: &mut Criterion) {
-    c.bench_function("fig07_price_utilization_and_buckets", |b| {
+    h.bench_function("fig07_price_utilization_and_buckets", |b| {
         b.iter(|| {
             let scenario = tiny_with_load(2.0).build();
             let run = pretium_sim::run_pretium(
@@ -66,10 +57,8 @@ fn bench_fig07(c: &mut Criterion) {
             black_box(run.outcome.payments.iter().sum::<f64>())
         });
     });
-}
 
-fn bench_fig10(c: &mut Criterion) {
-    c.bench_function("fig10_p90_utilization_cdf", |b| {
+    h.bench_function("fig10_p90_utilization_cdf", |b| {
         b.iter(|| {
             let cmp = experiments::compare_schemes(&tiny_with_load(2.0)).unwrap();
             let cdfs: Vec<usize> = cmp
@@ -80,11 +69,9 @@ fn bench_fig10(c: &mut Criterion) {
             black_box(cdfs)
         });
     });
-}
 
-fn bench_fig11(c: &mut Criterion) {
-    use pretium_sim::{run_pretium, Variant};
-    c.bench_function("fig11_ablations", |b| {
+    h.bench_function("fig11_ablations", |b| {
+        use pretium_sim::{run_pretium, Variant};
         b.iter(|| {
             let scenario = tiny_with_load(2.0).build();
             let mut ws = Vec::new();
@@ -101,11 +88,9 @@ fn bench_fig11(c: &mut Criterion) {
             black_box(ws)
         });
     });
-}
 
-fn bench_fig12(c: &mut Criterion) {
-    use pretium_baselines::{opt, OfflineConfig};
-    c.bench_function("fig12_link_cost_point", |b| {
+    h.bench_function("fig12_link_cost_point", |b| {
+        use pretium_baselines::{opt, OfflineConfig};
         b.iter(|| {
             let scenario = tiny_with_load(1.0).build();
             let off = OfflineConfig { cost_scale: 2.0, ..Default::default() };
@@ -114,11 +99,9 @@ fn bench_fig12(c: &mut Criterion) {
             black_box(o.welfare(&scenario.requests, &scenario.net, &scenario.grid, 2.0))
         });
     });
-}
 
-fn bench_fig13(c: &mut Criterion) {
-    use pretium_workload::ValueDist;
-    c.bench_function("fig13_value_dist_point", |b| {
+    h.bench_function("fig13_value_dist_point", |b| {
+        use pretium_workload::ValueDist;
         b.iter(|| {
             let mut cfg = tiny_with_load(1.0);
             cfg.requests.value_dist = ValueDist::pareto_from_mean_ratio(1.0, 2.0);
@@ -132,11 +115,9 @@ fn bench_fig13(c: &mut Criterion) {
             black_box(run.outcome.welfare(&scenario.requests, &scenario.net, &scenario.grid, 1.0))
         });
     });
-}
 
-fn bench_incentives(c: &mut Criterion) {
-    use pretium_sim::{analyze_deviations, Deviation};
-    c.bench_function("sec5_incentive_deviation", |b| {
+    h.bench_function("sec5_incentive_deviation", |b| {
+        use pretium_sim::{analyze_deviations, Deviation};
         b.iter(|| {
             let scenario = tiny_with_load(1.0).build();
             let report = analyze_deviations(
@@ -150,12 +131,3 @@ fn bench_incentives(c: &mut Criterion) {
         });
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_fig01, bench_fig05, bench_fig06_08_09, bench_fig07,
-              bench_fig10, bench_fig11, bench_fig12, bench_fig13,
-              bench_incentives
-}
-criterion_main!(benches);

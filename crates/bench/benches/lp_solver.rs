@@ -1,10 +1,9 @@
 //! LP-solver microbenchmarks plus the Theorem 4.2 encoding ablation
 //! (sorting network, O(kT) rows, vs CVaR, O(T) rows — same optimum).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pretium_bench::{black_box, Harness};
 use pretium_core::{topk_upper_bound, TopkEncoding};
 use pretium_lp::{Cmp, LinExpr, Model, Sense};
-use std::hint::black_box;
 
 /// Balanced transportation problem with `n` sources and sinks.
 fn transportation(n: usize) -> Model {
@@ -27,26 +26,22 @@ fn transportation(n: usize) -> Model {
     m
 }
 
-fn bench_simplex(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simplex_transportation");
+fn bench_simplex(h: &mut Harness) {
     for n in [5usize, 10, 20] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let m = transportation(n);
+        let m = transportation(n);
+        h.bench_function(&format!("simplex_transportation/{n}"), |b| {
             b.iter(|| black_box(m.solve().unwrap().objective()));
         });
     }
-    g.finish();
 }
 
-fn bench_topk_encodings(c: &mut Criterion) {
-    let mut g = c.benchmark_group("topk_encoding");
-    for (enc, name) in [
-        (TopkEncoding::SortingNetwork, "sorting_network"),
-        (TopkEncoding::CVar, "cvar"),
-    ] {
+fn bench_topk_encodings(h: &mut Harness) {
+    for (enc, name) in
+        [(TopkEncoding::SortingNetwork, "sorting_network"), (TopkEncoding::CVar, "cvar")]
+    {
         for t in [24usize, 48] {
             let k = (t as f64 * 0.1).ceil() as usize;
-            g.bench_with_input(BenchmarkId::new(name, t), &t, |b, &t| {
+            h.bench_function(&format!("topk_encoding/{name}/{t}"), |b| {
                 b.iter(|| {
                     let mut m = Model::new(Sense::Minimize);
                     let xs: Vec<_> = (0..t)
@@ -62,10 +57,9 @@ fn bench_topk_encodings(c: &mut Criterion) {
             });
         }
     }
-    g.finish();
 }
 
-fn bench_lazy_schedule(c: &mut Criterion) {
+fn bench_lazy_schedule(h: &mut Harness) {
     use pretium_core::{schedule, Job, ScheduleProblem};
     use pretium_net::{topology, EdgeId, PathSet, TimeGrid};
     let net = topology::default_eval(3);
@@ -85,7 +79,7 @@ fn bench_lazy_schedule(c: &mut Criterion) {
         }
         jobs.push(Job::new(i, p, i % 6, 6 + i % 6, 1.0 + (i % 4) as f64, 0.0, 20.0));
     }
-    c.bench_function("schedule_lp_30jobs_12steps", |b| {
+    h.bench_function("schedule_lp_30jobs_12steps", |b| {
         b.iter(|| {
             let cap = |e: EdgeId, _t: usize| net.edge(e).capacity * 0.9;
             let zero = |_: EdgeId, _: usize| 0.0;
@@ -105,9 +99,9 @@ fn bench_lazy_schedule(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_simplex, bench_topk_encodings, bench_lazy_schedule
+fn main() {
+    let mut h = Harness::new().sample_size(10);
+    bench_simplex(&mut h);
+    bench_topk_encodings(&mut h);
+    bench_lazy_schedule(&mut h);
 }
-criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Session reuse across SAM timesteps: replay one 16-timestep window of
+//! the default evaluation scenario (12 nodes over 3 regions) through the
+//! schedule layer twice — once carrying a [`ScheduleSession`] across steps
+//! (the warm-started path `Pretium::run_sam` takes), and once rebuilding
+//! and cold-solving the LP at every step (the pre-session behaviour).
+//!
+//! Reported as `sam_replay_warm`, `sam_replay_cold`, and their ratio; the
+//! ratio lands in EXPERIMENTS.md next to the Table 4 SAM row. Target from
+//! the incremental-solving redesign: >= 2x on this scenario.
+
+use pretium_bench::{black_box, Harness};
+use pretium_core::schedule::{self, Job, ScheduleProblem, ScheduleSession};
+use pretium_core::TopkEncoding;
+use pretium_net::{k_shortest_paths, EdgeId, Network, TimeGrid, Timestep};
+use pretium_sim::ScenarioConfig;
+
+const STEPS: usize = 16;
+const K_PATHS: usize = 3;
+
+/// Jobs for every request active inside the replayed window, with the
+/// same k-shortest path sets the admission module would hand to SAM.
+fn window_jobs(net: &Network, requests: &[pretium_workload::Request]) -> Vec<Job> {
+    requests
+        .iter()
+        .filter(|r| r.start < STEPS)
+        .enumerate()
+        .map(|(i, r)| {
+            let paths = k_shortest_paths(net, r.src, r.dst, K_PATHS, &|_| 1.0);
+            // Half the demand guaranteed: exercises both the shortfall
+            // machinery and the value-weighted best-effort remainder.
+            Job::new(
+                i,
+                paths,
+                r.start,
+                r.deadline.min(STEPS - 1),
+                r.value,
+                r.demand * 0.5,
+                r.demand,
+            )
+        })
+        .collect()
+}
+
+fn no_realized(_: EdgeId, _: Timestep) -> f64 {
+    0.0
+}
+
+fn main() {
+    let mut h = Harness::new().sample_size(10);
+    let scenario = ScenarioConfig::evaluation(7, 1.0).build();
+    let net = scenario.net.clone();
+    let grid = TimeGrid::new(STEPS, 30);
+    let jobs = window_jobs(&net, &scenario.requests);
+    assert!(jobs.len() >= 8, "scenario produced too few jobs: {}", jobs.len());
+    let cap = |e: EdgeId, _t: Timestep| net.edge(e).capacity;
+
+    let problem = |from: Timestep| ScheduleProblem {
+        net: &net,
+        grid: &grid,
+        from,
+        to: STEPS,
+        jobs: &jobs,
+        capacity: &cap,
+        realized: &no_realized,
+        topk: TopkEncoding::CVar,
+        cost_scale: 1.0,
+    };
+
+    // Warm: one session built at t=0, advanced and re-solved each step.
+    // Exactly what `run_sam` does within a window: executed flows frozen
+    // at their planned values, everything later re-optimized warm.
+    h.bench_function("sam_replay_warm", |b| {
+        b.iter(|| {
+            let mut sess = ScheduleSession::new(&problem(0));
+            for t in 0..STEPS {
+                sess.advance_to(t);
+                black_box(sess.solve_step(&net, &cap, &no_realized).unwrap());
+            }
+            sess.lp_stats()
+        });
+    });
+
+    // Cold: the pre-session design — rebuild the model from scratch and
+    // solve with no basis at every timestep.
+    h.bench_function("sam_replay_cold", |b| {
+        b.iter(|| {
+            for t in 0..STEPS {
+                black_box(schedule::solve(&problem(t)).unwrap());
+            }
+        });
+    });
+
+    let warm = h.get("sam_replay_warm").unwrap().median();
+    let cold = h.get("sam_replay_cold").unwrap().median();
+    let ratio = cold.as_secs_f64() / warm.as_secs_f64();
+    println!("sam_warm_vs_cold speedup: {ratio:.2}x (cold {cold:?} / warm {warm:?})");
+    println!("BENCH\tsam_warm_vs_cold_ratio\t{:.3}", ratio);
+}

@@ -1,12 +1,10 @@
 //! Table 4: runtimes of the three Pretium modules (RA per request, SAM per
-//! timestep, PC per window) measured with Criterion on the default
-//! evaluation scale.
+//! timestep, PC per window) measured on the default evaluation scale.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pretium_bench::{black_box, Harness};
 use pretium_core::{Pretium, PretiumConfig, RequestParams};
 use pretium_net::UsageTracker;
 use pretium_sim::ScenarioConfig;
-use std::hint::black_box;
 
 /// Warm a Pretium instance to mid-simulation state (half the requests
 /// admitted, SAM executed, first window done).
@@ -39,22 +37,20 @@ fn warmed() -> (Pretium, UsageTracker, pretium_sim::Scenario, usize) {
     (system, usage, scenario, mid)
 }
 
-fn bench_modules(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::new().sample_size(10);
     let (mut system, usage, scenario, mid) = warmed();
 
     // RA: quote a representative mid-simulation request.
-    let probe = scenario
-        .requests
-        .iter()
-        .find(|r| r.arrival >= mid)
-        .expect("request in second half");
+    let probe =
+        scenario.requests.iter().find(|r| r.arrival >= mid).expect("request in second half");
     let params = RequestParams::from(probe);
-    c.bench_function("table4_ra_quote", |b| {
+    h.bench_function("table4_ra_quote", |b| {
         b.iter(|| black_box(system.quote(&params).capacity_bound()));
     });
 
     // SAM: one full re-optimization at the midpoint.
-    c.bench_function("table4_sam_step", |b| {
+    h.bench_function("table4_sam_step", |b| {
         b.iter(|| {
             system.run_sam(mid, &usage).unwrap();
         });
@@ -62,16 +58,9 @@ fn bench_modules(c: &mut Criterion) {
 
     // PC: one full price recomputation at the second window boundary.
     let boundary = scenario.grid.window_start(1);
-    c.bench_function("table4_pc_window", |b| {
+    h.bench_function("table4_pc_window", |b| {
         b.iter(|| {
             system.run_pc(boundary.max(scenario.grid.steps_per_window)).unwrap();
         });
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_modules
-}
-criterion_main!(benches);

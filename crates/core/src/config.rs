@@ -2,10 +2,9 @@
 
 use crate::state::PriceBump;
 use crate::topk::TopkEncoding;
-use serde::{Deserialize, Serialize};
 
 /// Which past window the price computer projects forward (§4.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReferenceWindow {
     /// The window that just ended.
     Previous,
@@ -16,7 +15,7 @@ pub enum ReferenceWindow {
 
 /// All tunables of a Pretium instance. Defaults follow the paper where it
 /// states values, and DESIGN.md §8 where it does not.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PretiumConfig {
     /// Admissible routes per request (k-shortest paths).
     pub k_paths: usize,
@@ -76,10 +75,9 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn clone_roundtrip() {
         let c = PretiumConfig::default();
-        let json = serde_json::to_string(&c).unwrap();
-        let back: PretiumConfig = serde_json::from_str(&json).unwrap();
+        let back = c.clone();
         assert_eq!(c.k_paths, back.k_paths);
         assert_eq!(c.reference, back.reference);
     }

@@ -37,6 +37,6 @@ pub use config::{PretiumConfig, ReferenceWindow};
 pub use contract::{Contract, ContractId, RequestParams};
 pub use menu::{build_menu, PriceMenu};
 pub use pretium::{initial_price, price_floor, Pretium};
-pub use schedule::{Job, ScheduleProblem, ScheduleSolution};
+pub use schedule::{Job, ScheduleProblem, ScheduleSession, ScheduleSolution};
 pub use state::{NetworkState, PriceBump};
 pub use topk::{topk_upper_bound, TopkEncoding};

@@ -151,7 +151,11 @@ pub fn build_menu(
     let deadline = deadline.min(state.horizon().saturating_sub(1));
     // Local hypothetical reservations on top of the state.
     let mut extra: HashMap<(EdgeId, Timestep), f64> = HashMap::new();
-    let marginal = |state: &NetworkState, extra: &HashMap<(EdgeId, Timestep), f64>, e: EdgeId, t: Timestep| -> f64 {
+    let marginal = |state: &NetworkState,
+                    extra: &HashMap<(EdgeId, Timestep), f64>,
+                    e: EdgeId,
+                    t: Timestep|
+     -> f64 {
         let cap = state.sellable_capacity(e, t);
         if cap <= 0.0 {
             return state.price(e, t) * state.bump.factor;
@@ -163,7 +167,11 @@ pub fn build_menu(
             state.price(e, t)
         }
     };
-    let avail_at_marginal = |state: &NetworkState, extra: &HashMap<(EdgeId, Timestep), f64>, e: EdgeId, t: Timestep| -> f64 {
+    let avail_at_marginal = |state: &NetworkState,
+                             extra: &HashMap<(EdgeId, Timestep), f64>,
+                             e: EdgeId,
+                             t: Timestep|
+     -> f64 {
         let cap = state.sellable_capacity(e, t);
         let used = state.reserved(e, t) + extra.get(&(e, t)).copied().unwrap_or(0.0);
         let boundary = cap * state.bump.threshold;
@@ -183,8 +191,7 @@ pub fn build_menu(
         let mut best: Option<(f64, usize, Timestep, f64)> = None; // (price, path, t, qty)
         for (pi, path) in paths.iter().enumerate() {
             for t in start..=deadline {
-                let price: f64 =
-                    path.edges().iter().map(|&e| marginal(state, &extra, e, t)).sum();
+                let price: f64 = path.edges().iter().map(|&e| marginal(state, &extra, e, t)).sum();
                 let qty: f64 = path
                     .edges()
                     .iter()
@@ -227,14 +234,8 @@ mod tests {
         let a = net.add_node("A", Region::NorthAmerica);
         let b = net.add_node("B", Region::NorthAmerica);
         let e = net.add_edge(a, b, 10.0, LinkCost::owned());
-        let state = NetworkState::new(
-            &net,
-            TimeGrid::new(4, 30),
-            4,
-            0.0,
-            PriceBump::default(),
-            |_| 1.0,
-        );
+        let state =
+            NetworkState::new(&net, TimeGrid::new(4, 30), 4, 0.0, PriceBump::default(), |_| 1.0);
         let paths = vec![Path::new(&net, vec![e])];
         (net, state, paths)
     }
@@ -371,20 +372,11 @@ mod tests {
         let ab = net.add_edge(a, b, 10.0, LinkCost::owned());
         let ac = net.add_edge(a, c, 10.0, LinkCost::owned());
         let cb = net.add_edge(c, b, 10.0, LinkCost::owned());
-        let mut state = NetworkState::new(
-            &net,
-            TimeGrid::new(1, 30),
-            1,
-            0.0,
-            PriceBump::disabled(),
-            |_| 1.0,
-        );
+        let mut state =
+            NetworkState::new(&net, TimeGrid::new(1, 30), 1, 0.0, PriceBump::disabled(), |_| 1.0);
         // Two-hop path costs 2.0/unit; make the direct edge pricier (3.0).
         state.set_price(ab, 0, 3.0);
-        let paths = vec![
-            Path::new(&net, vec![ab]),
-            Path::new(&net, vec![ac, cb]),
-        ];
+        let paths = vec![Path::new(&net, vec![ab]), Path::new(&net, vec![ac, cb])];
         let menu = build_menu(&state, &paths, 0, 0);
         assert_eq!(menu.segments[0].alloc.path_idx, 1, "two-hop path should be first");
         assert!((menu.segments[0].unit_price - 2.0).abs() < 1e-12);

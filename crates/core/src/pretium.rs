@@ -9,10 +9,29 @@
 use crate::config::{PretiumConfig, ReferenceWindow};
 use crate::contract::{Contract, ContractId, RequestParams};
 use crate::menu::{build_menu, PriceMenu};
-use crate::schedule::{self, Job, ScheduleProblem};
+use crate::schedule::{self, Job, ScheduleProblem, ScheduleSession};
 use crate::state::NetworkState;
-use pretium_lp::SolveError;
+use pretium_lp::{SessionStats, SolveError};
 use pretium_net::{EdgeId, Network, Path, PathSet, TimeGrid, Timestep, UsageTracker};
+
+/// The scheduling LP SAM keeps alive between timesteps of one billing
+/// window: successive `run_sam` calls advance it (fix executed flows,
+/// refresh capacities, append newly accepted contracts) and re-solve warm
+/// from the previous basis instead of rebuilding the LP from scratch.
+struct SamCarry {
+    sess: ScheduleSession,
+    /// Contract index of each job slot (insertion order of the session).
+    contract_of_job: Vec<usize>,
+    /// Billing window the session was built in (rebuilt at boundaries, when
+    /// realized usage rolls into the cost proxy's past constants).
+    window: usize,
+}
+
+impl SamCarry {
+    fn has_contract(&self, i: usize) -> bool {
+        self.contract_of_job.contains(&i)
+    }
+}
 
 /// A running Pretium instance.
 pub struct Pretium {
@@ -27,6 +46,11 @@ pub struct Pretium {
     contract_paths: Vec<Vec<Path>>,
     /// Number of completed price recomputations.
     pc_runs: u32,
+    /// Live SAM session, if one is being carried across timesteps.
+    sam: Option<SamCarry>,
+    /// LP restart counters accumulated from retired sessions and PC solves
+    /// (use [`Pretium::lp_stats`], which folds in the live session).
+    lp_stats: SessionStats,
 }
 
 impl Pretium {
@@ -35,10 +59,8 @@ impl Pretium {
     /// `cfg.initial_price_scale` (cold start; see DESIGN.md §8).
     pub fn new(net: Network, grid: TimeGrid, horizon: usize, cfg: PretiumConfig) -> Self {
         assert!(horizon > 0);
-        let floors: Vec<f64> = net
-            .edge_ids()
-            .map(|e| initial_price(&net, &grid, &cfg, e))
-            .collect();
+        let floors: Vec<f64> =
+            net.edge_ids().map(|e| initial_price(&net, &grid, &cfg, e)).collect();
         let state = NetworkState::new(&net, grid, horizon, cfg.highpri_fraction, cfg.bump, |e| {
             floors[e.index()]
         });
@@ -53,6 +75,8 @@ impl Pretium {
             contracts: Vec::new(),
             contract_paths: Vec::new(),
             pc_runs: 0,
+            sam: None,
+            lp_stats: SessionStats::default(),
         }
     }
 
@@ -78,6 +102,18 @@ impl Pretium {
 
     pub fn pc_runs(&self) -> u32 {
         self.pc_runs
+    }
+
+    /// LP restart counters across everything this instance solved: all SAM
+    /// sessions (live and retired) plus the PC's offline solves. The warm
+    /// fraction is the headline number — it is the share of LP solves that
+    /// reused a previous basis instead of starting cold.
+    pub fn lp_stats(&self) -> SessionStats {
+        let mut s = self.lp_stats;
+        if let Some(carry) = &self.sam {
+            s.merge(carry.sess.lp_stats());
+        }
+        s
     }
 
     /// RA, step 1: generate the price menu for a request's parameters
@@ -143,47 +179,91 @@ impl Pretium {
     /// timestep `now` onward, maximizing Σ λ·X − C(X) subject to the
     /// remaining guarantees. `realized` reports usage already carried in
     /// the current billing window (for the cost proxy).
+    ///
+    /// Within one billing window successive calls share a live
+    /// [`ScheduleSession`]: the step's mutations (executed flows frozen,
+    /// capacities refreshed, newly accepted contracts appended) are applied
+    /// incrementally and the LP warm-starts from the previous optimal
+    /// basis. The session is rebuilt at window boundaries — where realized
+    /// usage rolls into the cost proxy's past constants — and whenever a
+    /// new contract's deadline stretches past the carried horizon.
     pub fn run_sam(&mut self, now: Timestep, realized: &UsageTracker) -> Result<(), SolveError> {
         if !self.cfg.sam_enabled || now >= self.horizon {
             return Ok(());
         }
-        let active: Vec<usize> = (0..self.contracts.len())
-            .filter(|&i| self.contracts[i].active_at(now))
-            .collect();
+        let active: Vec<usize> =
+            (0..self.contracts.len()).filter(|&i| self.contracts[i].active_at(now)).collect();
         if active.is_empty() {
             return Ok(());
         }
-        let to = active
-            .iter()
-            .map(|&i| self.contracts[i].params.deadline + 1)
-            .max()
-            .unwrap()
-            .min(self.horizon);
-        let jobs: Vec<Job> = active
-            .iter()
-            .map(|&i| {
-                let c = &self.contracts[i];
-                Job::new(i, self.contract_paths[i].clone(), c.params.start.max(now), c.params.deadline, c.lambda, c.guarantee_remaining(), c.demand_remaining())
-            })
-            .collect();
-        let state = &self.state;
-        let capacity = |e: EdgeId, t: Timestep| state.sellable_capacity(e, t);
-        let realized_fn = |e: EdgeId, t: Timestep| realized.at(e, t);
-        let problem = ScheduleProblem {
-            net: &self.net,
-            grid: &self.grid,
-            from: now,
-            to,
-            jobs: &jobs,
-            capacity: &capacity,
-            realized: &realized_fn,
-            topk: self.cfg.topk,
-            cost_scale: self.cfg.cost_scale,
+        let window = self.grid.window_of(now);
+        let reusable = self.sam.as_ref().is_some_and(|c| c.window == window);
+        let mut carry = if reusable {
+            self.sam.take().unwrap()
+        } else {
+            if let Some(old) = self.sam.take() {
+                self.lp_stats.merge(old.sess.lp_stats());
+            }
+            let jobs: Vec<Job> = active.iter().map(|&i| self.job_for(i, now)).collect();
+            let state = &self.state;
+            let capacity = |e: EdgeId, t: Timestep| state.sellable_capacity(e, t);
+            let realized_fn = |e: EdgeId, t: Timestep| realized.at(e, t);
+            // The session horizon runs to the end of the simulation, not
+            // just to the latest current deadline: per-job variables are
+            // bounded by deadlines anyway, and the longer horizon means a
+            // later-arriving contract never forces a rebuild.
+            let problem = ScheduleProblem {
+                net: &self.net,
+                grid: &self.grid,
+                from: now,
+                to: self.horizon,
+                jobs: &jobs,
+                capacity: &capacity,
+                realized: &realized_fn,
+                topk: self.cfg.topk,
+                cost_scale: self.cfg.cost_scale,
+            };
+            SamCarry {
+                sess: ScheduleSession::new(&problem),
+                contract_of_job: active.clone(),
+                window,
+            }
         };
-        let sol = schedule::solve(&problem)?;
-        // Install the new plans.
+        // Freeze the steps executed since the last run, then append
+        // contracts accepted in the meantime (with their remaining
+        // amounts — anything they already moved under their preliminary
+        // schedule is delivered, and its usage feeds the cost proxy).
+        carry.sess.advance_to(now);
+        for &i in &active {
+            if !carry.has_contract(i) {
+                let slot = carry.sess.add_job(self.job_for(i, now));
+                let executed: Vec<(usize, Timestep, f64)> =
+                    self.contracts[i].plan.iter().filter(|&&(_, t, _)| t < now).copied().collect();
+                carry.sess.record_executed(slot, &executed);
+                carry.contract_of_job.push(i);
+            }
+        }
+        let result = {
+            let state = &self.state;
+            let capacity = |e: EdgeId, t: Timestep| state.sellable_capacity(e, t);
+            let realized_fn = |e: EdgeId, t: Timestep| realized.at(e, t);
+            carry.sess.solve_step(&self.net, &capacity, &realized_fn)
+        };
+        let sol = match result {
+            Ok(sol) => sol,
+            Err(err) => {
+                // Retire the failed session (keeping its counters); the
+                // next SAM run rebuilds from scratch.
+                self.lp_stats.merge(carry.sess.lp_stats());
+                return Err(err);
+            }
+        };
+        // Install the new plans. The extraction excludes frozen past
+        // steps, so plans contain only future flows; session jobs beyond
+        // the active set (contracts that completed mid-window) simply get
+        // empty plans.
         self.state.clear_reservations_from(now);
-        for (j, &i) in active.iter().enumerate() {
+        for (j, &i) in carry.contract_of_job.iter().enumerate() {
             self.contracts[i].plan = sol.flows[j].clone();
             for &(pi, t, units) in &sol.flows[j] {
                 for &e in self.contract_paths[i][pi].edges() {
@@ -192,7 +272,23 @@ impl Pretium {
                 }
             }
         }
+        self.sam = Some(carry);
         Ok(())
+    }
+
+    /// The SAM job of contract `i` as of timestep `now`: marginal accepted
+    /// price as value proxy, remaining guarantee and demand as bounds.
+    fn job_for(&self, i: usize, now: Timestep) -> Job {
+        let c = &self.contracts[i];
+        Job::new(
+            i,
+            self.contract_paths[i].clone(),
+            c.params.start.max(now),
+            c.params.deadline,
+            c.lambda,
+            c.guarantee_remaining(),
+            c.demand_remaining(),
+        )
     }
 
     /// Execute the planned flows of timestep `now`: usage is recorded and
@@ -238,7 +334,17 @@ impl Pretium {
             .iter()
             .enumerate()
             .filter(|(_, c)| c.params.start < now && c.params.deadline >= lb_start)
-            .map(|(i, c)| Job::new(i, self.contract_paths[i].clone(), c.params.start.max(lb_start), c.params.deadline.min(now - 1), c.lambda, 0.0, c.params.demand.max(c.purchased)))
+            .map(|(i, c)| {
+                Job::new(
+                    i,
+                    self.contract_paths[i].clone(),
+                    c.params.start.max(lb_start),
+                    c.params.deadline.min(now - 1),
+                    c.lambda,
+                    0.0,
+                    c.params.demand.max(c.purchased),
+                )
+            })
             .collect();
         if jobs.is_empty() {
             return Ok(());
@@ -258,6 +364,7 @@ impl Pretium {
             cost_scale: self.cfg.cost_scale,
         };
         let sol = schedule::solve(&problem)?;
+        self.lp_stats.merge(sol.lp_stats);
         // Reference window: the pattern carried into the future.
         let back = match self.cfg.reference {
             ReferenceWindow::Previous => 1,

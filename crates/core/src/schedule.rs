@@ -29,8 +29,19 @@
 //! is also optimal for the full objective. Capacity duals of never-added
 //! rows are zero (the rows never bind).
 
+//! ## Incremental re-optimization
+//!
+//! [`ScheduleSession`] keeps the LP (and the solver basis) alive *across*
+//! solves: SAM advances it timestep by timestep — fixing executed flows,
+//! refreshing capacities, appending newly accepted jobs — and each re-solve
+//! warm-starts from the previous optimal basis instead of rebuilding from
+//! scratch. [`solve`] remains the one-shot entry point (PC, baselines).
+
 use crate::topk::{topk_upper_bound, TopkEncoding};
-use pretium_lp::{Cmp, LinExpr, Model, RowId, Sense, SolveError, Var};
+use pretium_lp::{
+    Cmp, LinExpr, Model, RowId, Sense, SessionStats, Solution, SolveError, SolveOptions,
+    SolverSession, Var,
+};
 use pretium_net::cost::TOP_FRACTION;
 use pretium_net::percentile::top_k_count;
 use pretium_net::{EdgeId, Network, Path, TimeGrid, Timestep};
@@ -125,6 +136,9 @@ pub struct ScheduleSolution {
     pub shortfall: Vec<f64>,
     /// Lazy-generation rounds used.
     pub rounds: u32,
+    /// Lifetime restart counters of the LP session that produced this
+    /// solution (for a one-shot [`solve`], the counters of just this call).
+    pub lp_stats: SessionStats,
 }
 
 impl ScheduleSolution {
@@ -165,122 +179,130 @@ const MAX_ROUNDS: u32 = 60;
 /// Near-violation fraction that pre-materializes a capacity row.
 const NEAR_CAP_FRACTION: f64 = 0.85;
 
-struct Builder<'a> {
-    p: &'a ScheduleProblem<'a>,
-    model: Model,
+/// The scheduling LP kept alive across solves, with the solver basis of the
+/// last optimum.
+///
+/// SAM's re-solve at each timestep differs from the previous one only by a
+/// handful of mutations, and a persistent session turns each of them into a
+/// warm restart instead of a cold rebuild:
+///
+/// * [`ScheduleSession::advance_to`] fixes the flow variables of elapsed
+///   timesteps at their executed values (a bound change — the basis stays
+///   primal feasible, since those were the optimal values);
+/// * [`ScheduleSession::solve_step`] refreshes materialized capacity rows
+///   against the current capacity function (RHS changes — dual restart at
+///   worst) and runs the lazy row loop, where every generation round
+///   warm-starts too;
+/// * [`ScheduleSession::add_job`] appends a newly accepted contract: new
+///   columns, new demand/guarantee rows, and retrofitted coefficients into
+///   already-materialized capacity/usage rows (append-only extensions the
+///   saved basis survives).
+///
+/// The one-shot [`solve`] builds a session, solves once, and drops it.
+pub struct ScheduleSession {
+    sess: SolverSession,
+    grid: TimeGrid,
+    /// First timestep of the LP horizon at build time (realized usage
+    /// before it enters cost proxies as constants).
+    from: Timestep,
+    /// One past the last timestep of the horizon.
+    to: Timestep,
+    /// Flow variables at steps `< fixed_up_to` are frozen at executed
+    /// values; lazy capacity checks skip those steps.
+    fixed_up_to: Timestep,
+    topk: TopkEncoding,
+    cost_scale: f64,
+    /// Shortfall penalty (scales with the largest job weight seen).
+    penalty: f64,
+    jobs: Vec<Job>,
     /// Flow variables: per job, `(path index, t, var)`.
     vars: Vec<Vec<(usize, Timestep, Var)>>,
     /// Shortfall variable per job (if it has a guarantee).
     shortfalls: Vec<Option<Var>>,
-    /// Edges crossed per (job, path): cached `paths[p].edges()`.
+    /// Materialized capacity rows.
     cap_rows: HashMap<(EdgeId, Timestep), RowId>,
     /// Percentile edges with a cost encoding already, per window.
     costed: HashMap<(EdgeId, usize), ()>,
     /// Usage-definition rows (percentile edges only).
     use_rows: HashMap<(EdgeId, Timestep), RowId>,
-    /// For each (e, t) within the LP horizon, the flow vars crossing it.
+    /// For each (e, t) within the LP horizon, the vars crossing it.
     crossing: HashMap<(EdgeId, Timestep), Vec<Var>>,
+    /// Primal values of the last solve (used to freeze elapsed steps).
+    last_values: Vec<f64>,
 }
 
-/// Solve the scheduling LP.
+/// Solve the scheduling LP once (PC, baselines). SAM holds a
+/// [`ScheduleSession`] instead and re-solves it incrementally.
 pub fn solve(problem: &ScheduleProblem<'_>) -> Result<ScheduleSolution, SolveError> {
-    assert!(problem.from < problem.to, "empty scheduling horizon");
-    let mut b = build_base(problem);
-    let mut rounds = 0;
-    let trace = std::env::var_os("PRETIUM_LP_TRACE").is_some();
-    loop {
-        rounds += 1;
-        let t0 = std::time::Instant::now();
-        let sol = b.model.solve()?;
-        if trace {
-            eprintln!(
-                "[schedule] round {rounds}: {} rows x {} vars, {} iters, {:?}",
-                b.model.num_rows(),
-                b.model.num_vars(),
-                0,
-                t0.elapsed()
-            );
-        }
-        let mut progressed = false;
-        // (a) capacity rows violated by the tentative schedule. Rows that
-        // are merely *near* the limit are materialized too: when a violated
-        // row is added, displaced flow tends to overflow its neighbours in
-        // the next round, so pulling them in now saves whole resolve
-        // rounds at a small LP-size cost.
-        let mut new_rows = Vec::new();
-        let mut any_violated = false;
-        for (&(e, t), vars) in &b.crossing {
-            if b.cap_rows.contains_key(&(e, t)) {
-                continue;
-            }
-            let usage: f64 = vars.iter().map(|&v| sol.value(v)).sum();
-            let cap = (problem.capacity)(e, t);
-            if usage > cap + CAP_TOL * (1.0 + cap) {
-                new_rows.push((e, t, cap));
-                any_violated = true;
-            } else if usage > cap * NEAR_CAP_FRACTION {
-                new_rows.push((e, t, cap));
-            }
-        }
-        if !any_violated {
-            new_rows.clear();
-        }
-        for (e, t, cap) in new_rows {
-            let vars = &b.crossing[&(e, t)];
-            let expr = LinExpr::from_terms(vars.iter().map(|&v| (1.0, v)));
-            let id = b.model.add_row(&format!("cap_{e}_{t}"), expr, Cmp::Le, cap);
-            b.cap_rows.insert((e, t), id);
-            progressed = true;
-        }
-        // (b) cost encodings for percentile edges the schedule uses.
-        let mut new_encodings = Vec::new();
-        for (&(e, t), vars) in &b.crossing {
-            let edge_cost = &problem.net.edge(e).cost;
-            if !edge_cost.is_percentile() {
-                continue;
-            }
-            let w = problem.grid.window_of(t);
-            if b.costed.contains_key(&(e, w)) {
-                continue;
-            }
-            let usage: f64 = vars.iter().map(|&v| sol.value(v)).sum();
-            if usage > USE_TOL {
-                new_encodings.push((e, w));
-            }
-        }
-        new_encodings.sort();
-        new_encodings.dedup();
-        for (e, w) in new_encodings {
-            add_cost_encoding(&mut b, e, w);
-            progressed = true;
-        }
-        if !progressed {
-            return Ok(extract(&b, sol, rounds));
-        }
-        if rounds >= MAX_ROUNDS {
-            return Err(SolveError::IterationLimit { iterations: rounds as u64 });
-        }
-    }
+    let mut s = ScheduleSession::new(problem);
+    s.solve_step(problem.net, problem.capacity, problem.realized)
 }
 
-fn build_base<'a>(p: &'a ScheduleProblem<'a>) -> Builder<'a> {
-    let mut model = Model::new(Sense::Maximize);
-    let max_weight = p
-        .jobs
-        .iter()
-        .map(|j| j.weight.abs())
-        .fold(1.0f64, f64::max);
-    let penalty = max_weight * SHORTFALL_PENALTY_FACTOR;
+impl ScheduleSession {
+    /// Build the base LP (demand and guarantee rows; capacity rows and cost
+    /// encodings are generated lazily during [`ScheduleSession::solve_step`]).
+    pub fn new(p: &ScheduleProblem<'_>) -> Self {
+        assert!(p.from < p.to, "empty scheduling horizon");
+        let max_weight = p.jobs.iter().map(|j| j.weight.abs()).fold(1.0f64, f64::max);
+        let mut s = ScheduleSession {
+            sess: SolverSession::new(Model::new(Sense::Maximize)),
+            grid: *p.grid,
+            from: p.from,
+            to: p.to,
+            fixed_up_to: p.from,
+            topk: p.topk,
+            cost_scale: p.cost_scale,
+            penalty: max_weight * SHORTFALL_PENALTY_FACTOR,
+            jobs: Vec::with_capacity(p.jobs.len()),
+            vars: Vec::with_capacity(p.jobs.len()),
+            shortfalls: Vec::with_capacity(p.jobs.len()),
+            cap_rows: HashMap::new(),
+            costed: HashMap::new(),
+            use_rows: HashMap::new(),
+            crossing: HashMap::new(),
+            last_values: Vec::new(),
+        };
+        for job in p.jobs {
+            s.add_job(job.clone());
+        }
+        s
+    }
 
-    let mut vars = Vec::with_capacity(p.jobs.len());
-    let mut shortfalls = Vec::with_capacity(p.jobs.len());
-    let mut crossing: HashMap<(EdgeId, Timestep), Vec<Var>> = HashMap::new();
+    /// One past the last timestep this session can schedule.
+    pub fn horizon_end(&self) -> Timestep {
+        self.to
+    }
 
-    for (j, job) in p.jobs.iter().enumerate() {
+    /// First timestep still free to re-plan.
+    pub fn fixed_up_to(&self) -> Timestep {
+        self.fixed_up_to
+    }
+
+    /// Number of jobs in the LP (in insertion order, matching the `flows`
+    /// vector of returned solutions).
+    pub fn num_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Restart counters of the underlying LP session.
+    pub fn lp_stats(&self) -> SessionStats {
+        self.sess.stats()
+    }
+
+    /// Append a job and return its index in the session's job list. New
+    /// columns are retrofitted into already-materialized capacity and usage
+    /// rows, which the saved basis survives (the columns are fresh).
+    ///
+    /// Call [`ScheduleSession::advance_to`] first when adding mid-run: the
+    /// job's variables start at `max(job.start, fixed_up_to)`, and its
+    /// `min_units`/`max_units` should be the *remaining* amounts.
+    pub fn add_job(&mut self, job: Job) -> usize {
+        let j = self.jobs.len();
         assert!(job.min_units <= job.max_units + 1e-9, "job {j}: min > max");
         assert!(!job.paths.is_empty(), "job {j} has no admissible paths");
-        let lo = job.start.max(p.from);
-        let hi = (job.deadline + 1).min(p.to);
+        self.penalty = self.penalty.max(job.weight.abs() * SHORTFALL_PENALTY_FACTOR);
+        let lo = job.start.max(self.fixed_up_to);
+        let hi = (job.deadline + 1).min(self.to);
         let mut jvars = Vec::new();
         let mut total = LinExpr::new();
         for (pi, path) in job.paths.iter().enumerate() {
@@ -288,128 +310,274 @@ fn build_base<'a>(p: &'a ScheduleProblem<'a>) -> Builder<'a> {
                 if !job.step_allowed(t) {
                     continue;
                 }
-                let v = model.add_var(&format!("x_{j}_{pi}_{t}"), 0.0, f64::INFINITY, job.weight);
+                let v =
+                    self.sess.add_var(&format!("x_{j}_{pi}_{t}"), 0.0, f64::INFINITY, job.weight);
                 jvars.push((pi, t, v));
                 total.add_term(1.0, v);
                 for &e in path.edges() {
-                    crossing.entry((e, t)).or_default().push(v);
+                    if let Some(&row) = self.cap_rows.get(&(e, t)) {
+                        self.sess.add_term(row, v, 1.0);
+                    }
+                    if let Some(&row) = self.use_rows.get(&(e, t)) {
+                        self.sess.add_term(row, v, 1.0);
+                    }
+                    self.crossing.entry((e, t)).or_default().push(v);
                 }
             }
         }
         if jvars.is_empty() {
-            // Window entirely outside the LP horizon: job gets nothing.
-            vars.push(jvars);
-            shortfalls.push(None);
-            continue;
+            // Window entirely outside the remaining horizon: job gets
+            // nothing.
+            self.vars.push(jvars);
+            self.shortfalls.push(None);
+            self.jobs.push(job);
+            return j;
         }
-        model.add_row(&format!("demand_{j}"), total.clone(), Cmp::Le, job.max_units);
+        self.sess.add_row(&format!("demand_{j}"), total.clone(), Cmp::Le, job.max_units);
         if job.min_units > 1e-9 {
             // Soft guarantee: Σ X + shortfall >= min_units.
-            let s = model.add_var(&format!("short_{j}"), 0.0, job.min_units, -penalty);
+            let s = self.sess.add_var(&format!("short_{j}"), 0.0, job.min_units, -self.penalty);
             let e = total.term(1.0, s);
-            model.add_row(&format!("guar_{j}"), e, Cmp::Ge, job.min_units);
-            shortfalls.push(Some(s));
+            self.sess.add_row(&format!("guar_{j}"), e, Cmp::Ge, job.min_units);
+            self.shortfalls.push(Some(s));
         } else {
-            shortfalls.push(None);
+            self.shortfalls.push(None);
         }
-        vars.push(jvars);
+        self.vars.push(jvars);
+        self.jobs.push(job);
+        j
     }
 
-    Builder {
-        p,
-        model,
-        vars,
-        shortfalls,
-        cap_rows: HashMap::new(),
-        costed: HashMap::new(),
-        use_rows: HashMap::new(),
-        crossing,
-    }
-}
-
-/// Add the §4.2 cost proxy for percentile edge `e` over billing window `w`:
-/// usage variables `U_{e,t}` tied to the crossing flows, realized-past
-/// constants, a top-k bound `S`, and the objective term `-C_e·S/k`.
-fn add_cost_encoding(b: &mut Builder<'_>, e: EdgeId, w: usize) {
-    let p = b.p;
-    let range = p.grid.window_range(w);
-    let k = top_k_count(p.grid.steps_per_window, TOP_FRACTION);
-    let mut inputs: Vec<Var> = Vec::new();
-    for t in range {
-        if t >= p.from && t < p.to {
-            if let Some(vars) = b.crossing.get(&(e, t)) {
-                // U_{e,t} = Σ crossing flows.
-                let u = b.model.add_nonneg(&format!("u_{e}_{t}"), 0.0);
-                let mut expr = LinExpr::new().term(-1.0, u);
-                for &v in vars {
-                    expr.add_term(1.0, v);
+    /// Record usage a job carried *before* it joined the session (e.g. a
+    /// contract that executed its preliminary menu schedule between SAM
+    /// runs). The units enter the percentile cost proxy of the affected
+    /// `(edge, t)` pairs as fixed constants; elapsed capacity rows are left
+    /// alone (that usage is history, not a planning decision).
+    pub fn record_executed(&mut self, job: usize, executed: &[(usize, Timestep, f64)]) {
+        let paths = self.jobs[job].paths.clone();
+        for &(pi, t, units) in executed {
+            if t < self.from || t >= self.fixed_up_to || units <= 0.0 {
+                continue;
+            }
+            for &e in paths[pi].edges() {
+                let c = self.sess.add_var(&format!("exec_{job}_{e}_{t}"), units, units, 0.0);
+                if let Some(&row) = self.use_rows.get(&(e, t)) {
+                    self.sess.add_term(row, c, 1.0);
                 }
-                let row = b.model.add_row(&format!("use_{e}_{t}"), expr, Cmp::Eq, 0.0);
-                b.use_rows.insert((e, t), row);
-                inputs.push(u);
-            }
-            // No crossing vars: future usage is 0, skip (zeros never enter
-            // the top-k of non-negative inputs).
-        } else if t < p.from {
-            let c = (p.realized)(e, t);
-            if c > 0.0 {
-                inputs.push(b.model.add_var(&format!("past_{e}_{t}"), c, c, 0.0));
+                self.crossing.entry((e, t)).or_default().push(c);
             }
         }
     }
-    if inputs.is_empty() {
-        b.costed.insert((e, w), ());
-        return;
-    }
-    let s = topk_upper_bound(&mut b.model, &inputs, k, p.topk, &format!("c_{e}_{w}"));
-    let unit_cost = p.net.edge(e).cost.unit_cost() * p.cost_scale;
-    b.model.set_obj(s, -unit_cost / k as f64);
-    b.costed.insert((e, w), ());
-}
 
-fn extract(b: &Builder<'_>, sol: pretium_lp::Solution, rounds: u32) -> ScheduleSolution {
-    let mut flows = Vec::with_capacity(b.vars.len());
-    let mut delivered = Vec::with_capacity(b.vars.len());
-    for jvars in &b.vars {
-        let mut jf = Vec::new();
-        let mut total = 0.0;
-        for &(pi, t, v) in jvars {
-            let units = sol.value(v);
-            if units > 1e-9 {
-                jf.push((pi, t, units));
-                total += units;
+    /// Freeze the flow variables of timesteps `< now` at their values in
+    /// the last solution (the plan SAM installed, hence what was executed).
+    /// A fixed optimal value keeps the basis primal feasible, so the next
+    /// re-solve typically restarts warm.
+    pub fn advance_to(&mut self, now: Timestep) {
+        let now = now.min(self.to);
+        if now <= self.fixed_up_to {
+            return;
+        }
+        for jvars in &self.vars {
+            for &(_, t, v) in jvars {
+                if t >= self.fixed_up_to && t < now {
+                    let x = self.last_values.get(v.index()).copied().unwrap_or(0.0).max(0.0);
+                    self.sess.set_bounds(v, x, x);
+                }
             }
         }
-        flows.push(jf);
-        delivered.push(total);
+        self.fixed_up_to = now;
     }
-    let capacity_duals = b
-        .cap_rows
-        .iter()
-        .map(|(&key, &row)| (key, sol.dual(row)))
-        .collect();
-    // The use-row is written as (Σ flows − U = 0); pushing one forced unit
-    // of usage through the edge corresponds to lowering the rhs by 1, so
-    // the marginal cost is the row dual itself (clamped: tiny negative
-    // duals are numerical noise).
-    let usage_duals = b
-        .use_rows
-        .iter()
-        .map(|(&key, &row)| (key, sol.dual(row).max(0.0)))
-        .collect();
-    let shortfall = b
-        .shortfalls
-        .iter()
-        .map(|s| s.map(|v| sol.value(v)).unwrap_or(0.0))
-        .collect();
-    ScheduleSolution {
-        flows,
-        delivered,
-        objective: sol.objective(),
-        capacity_duals,
-        usage_duals,
-        shortfall,
-        rounds,
+
+    /// Re-solve over the remaining horizon: refresh materialized capacity
+    /// rows against `capacity`, then run the lazy generation loop (violated
+    /// capacity rows, cost encodings for percentile edges in use), where
+    /// every round — including the first — restarts from the saved basis
+    /// when one exists.
+    pub fn solve_step(
+        &mut self,
+        net: &Network,
+        capacity: &dyn Fn(EdgeId, Timestep) -> f64,
+        realized: &dyn Fn(EdgeId, Timestep) -> f64,
+    ) -> Result<ScheduleSolution, SolveError> {
+        // Capacity can move between steps (high-pri surges, failures);
+        // elapsed steps keep their old rows — that flow already happened.
+        let refresh: Vec<(EdgeId, Timestep, RowId)> = self
+            .cap_rows
+            .iter()
+            .filter(|&(&(_, t), _)| t >= self.fixed_up_to)
+            .map(|(&(e, t), &row)| (e, t, row))
+            .collect();
+        for (e, t, row) in refresh {
+            self.sess.set_rhs(row, capacity(e, t));
+        }
+        let trace = std::env::var_os("PRETIUM_LP_TRACE").is_some();
+        let opts = SolveOptions::default();
+        let mut rounds = 0;
+        loop {
+            rounds += 1;
+            let t0 = std::time::Instant::now();
+            let sol = self.sess.solve(&opts)?;
+            if trace {
+                eprintln!(
+                    "[schedule] round {rounds}: {} rows x {} vars, {:?} restart, {:?}",
+                    self.sess.model().num_rows(),
+                    self.sess.model().num_vars(),
+                    self.sess.last_restart(),
+                    t0.elapsed()
+                );
+            }
+            let mut progressed = false;
+            // (a) capacity rows violated by the tentative schedule. Rows
+            // that are merely *near* the limit are materialized too: when a
+            // violated row is added, displaced flow tends to overflow its
+            // neighbours in the next round, so pulling them in now saves
+            // whole resolve rounds at a small LP-size cost.
+            let mut new_rows = Vec::new();
+            let mut any_violated = false;
+            for (&(e, t), vars) in &self.crossing {
+                if t < self.fixed_up_to || self.cap_rows.contains_key(&(e, t)) {
+                    continue;
+                }
+                let usage: f64 = vars.iter().map(|&v| sol.value(v)).sum();
+                let cap = capacity(e, t);
+                if usage > cap + CAP_TOL * (1.0 + cap) {
+                    new_rows.push((e, t, cap));
+                    any_violated = true;
+                } else if usage > cap * NEAR_CAP_FRACTION {
+                    new_rows.push((e, t, cap));
+                }
+            }
+            if !any_violated {
+                new_rows.clear();
+            }
+            for (e, t, cap) in new_rows {
+                let vars = &self.crossing[&(e, t)];
+                let expr = LinExpr::from_terms(vars.iter().map(|&v| (1.0, v)));
+                let id = self.sess.add_row(&format!("cap_{e}_{t}"), expr, Cmp::Le, cap);
+                self.cap_rows.insert((e, t), id);
+                progressed = true;
+            }
+            // (b) cost encodings for percentile edges the schedule uses.
+            let mut new_encodings = Vec::new();
+            for (&(e, t), vars) in &self.crossing {
+                if !net.edge(e).cost.is_percentile() {
+                    continue;
+                }
+                let w = self.grid.window_of(t);
+                if self.costed.contains_key(&(e, w)) {
+                    continue;
+                }
+                let usage: f64 = vars.iter().map(|&v| sol.value(v)).sum();
+                if usage > USE_TOL {
+                    new_encodings.push((e, w));
+                }
+            }
+            new_encodings.sort();
+            new_encodings.dedup();
+            for (e, w) in new_encodings {
+                self.add_cost_encoding(net, realized, e, w);
+                progressed = true;
+            }
+            if !progressed {
+                self.last_values = sol.values().to_vec();
+                return Ok(self.extract(sol, rounds));
+            }
+            if rounds >= MAX_ROUNDS {
+                return Err(SolveError::IterationLimit { iterations: rounds as u64 });
+            }
+        }
+    }
+
+    /// Add the §4.2 cost proxy for percentile edge `e` over billing window
+    /// `w`: usage variables `U_{e,t}` tied to the crossing flows,
+    /// realized-past constants, a top-k bound `S`, and the objective term
+    /// `-C_e·S/k`.
+    fn add_cost_encoding(
+        &mut self,
+        net: &Network,
+        realized: &dyn Fn(EdgeId, Timestep) -> f64,
+        e: EdgeId,
+        w: usize,
+    ) {
+        let range = self.grid.window_range(w);
+        let k = top_k_count(self.grid.steps_per_window, TOP_FRACTION);
+        let mut inputs: Vec<Var> = Vec::new();
+        for t in range {
+            if t >= self.from && t < self.to {
+                if let Some(vars) = self.crossing.get(&(e, t)) {
+                    // U_{e,t} = Σ crossing flows.
+                    let u = self.sess.add_nonneg(&format!("u_{e}_{t}"), 0.0);
+                    let mut expr = LinExpr::new().term(-1.0, u);
+                    for &v in vars {
+                        expr.add_term(1.0, v);
+                    }
+                    let row = self.sess.add_row(&format!("use_{e}_{t}"), expr, Cmp::Eq, 0.0);
+                    self.use_rows.insert((e, t), row);
+                    inputs.push(u);
+                }
+                // No crossing vars: future usage is 0, skip (zeros never
+                // enter the top-k of non-negative inputs).
+            } else if t < self.from {
+                let c = realized(e, t);
+                if c > 0.0 {
+                    inputs.push(self.sess.add_var(&format!("past_{e}_{t}"), c, c, 0.0));
+                }
+            }
+        }
+        if inputs.is_empty() {
+            self.costed.insert((e, w), ());
+            return;
+        }
+        let (topk, name) = (self.topk, format!("c_{e}_{w}"));
+        let s = self.sess.append_with(|m| topk_upper_bound(m, &inputs, k, topk, &name));
+        let unit_cost = net.edge(e).cost.unit_cost() * self.cost_scale;
+        self.sess.set_obj(s, -unit_cost / k as f64);
+        self.costed.insert((e, w), ());
+    }
+
+    /// Read a solution out of the LP. Flows at elapsed (frozen) timesteps
+    /// are excluded: they were already executed and belong to history, not
+    /// to the plan being installed.
+    fn extract(&self, sol: Solution, rounds: u32) -> ScheduleSolution {
+        let mut flows = Vec::with_capacity(self.vars.len());
+        let mut delivered = Vec::with_capacity(self.vars.len());
+        for jvars in &self.vars {
+            let mut jf = Vec::new();
+            let mut total = 0.0;
+            for &(pi, t, v) in jvars {
+                if t < self.fixed_up_to {
+                    continue;
+                }
+                let units = sol.value(v);
+                if units > 1e-9 {
+                    jf.push((pi, t, units));
+                    total += units;
+                }
+            }
+            flows.push(jf);
+            delivered.push(total);
+        }
+        let capacity_duals =
+            self.cap_rows.iter().map(|(&key, &row)| (key, sol.dual(row))).collect();
+        // The use-row is written as (Σ flows − U = 0); pushing one forced
+        // unit of usage through the edge corresponds to lowering the rhs by
+        // 1, so the marginal cost is the row dual itself (clamped: tiny
+        // negative duals are numerical noise).
+        let usage_duals =
+            self.use_rows.iter().map(|(&key, &row)| (key, sol.dual(row).max(0.0))).collect();
+        let shortfall =
+            self.shortfalls.iter().map(|s| s.map(|v| sol.value(v)).unwrap_or(0.0)).collect();
+        ScheduleSolution {
+            flows,
+            delivered,
+            objective: sol.objective(),
+            capacity_duals,
+            usage_duals,
+            shortfall,
+            rounds,
+            lp_stats: self.sess.stats(),
+        }
     }
 }
 
@@ -542,9 +710,7 @@ mod tests {
         // everything with peak usage 2.
         assert!((sol.delivered[0] - 20.0).abs() < 1e-5, "{:?}", sol.delivered);
         let e = net.edge_ids().next().unwrap();
-        let peak = (0..10)
-            .map(|t| sol.usage_on(&jobs, e, t))
-            .fold(0.0f64, f64::max);
+        let peak = (0..10).map(|t| sol.usage_on(&jobs, e, t)).fold(0.0f64, f64::max);
         assert!((peak - 2.0).abs() < 1e-5, "peak {peak}");
         assert!((sol.objective - 10.0).abs() < 1e-5, "obj {}", sol.objective);
     }
@@ -703,6 +869,154 @@ mod tests {
             objs[0],
             objs[1]
         );
+    }
+
+    #[test]
+    fn advanced_session_matches_fresh_rebuild() {
+        // Two jobs compete for a capacity-10 edge over 6 steps. Solve at
+        // t=0, execute step 0, advance the session, and re-solve at t=1:
+        // the remaining plan must match a cold rebuild over [1, 6) with the
+        // delivered amounts subtracted.
+        let (net, a, b) = line_net();
+        let grid = TimeGrid::new(6, 30);
+        let jobs = vec![
+            Job::new(0, single_path(&net, a, b), 0, 5, 2.0, 10.0, 30.0),
+            Job::new(1, single_path(&net, a, b), 0, 3, 1.0, 0.0, 20.0),
+        ];
+        let cap = |e: EdgeId, t: Timestep| net.edge(e).capacity * (t < 6) as u8 as f64;
+        let problem = ScheduleProblem {
+            net: &net,
+            grid: &grid,
+            from: 0,
+            to: 6,
+            jobs: &jobs,
+            capacity: &cap,
+            realized: &no_realized,
+            topk: TopkEncoding::CVar,
+            cost_scale: 1.0,
+        };
+        let mut sess = ScheduleSession::new(&problem);
+        let first = sess.solve_step(&net, &cap, &no_realized).unwrap();
+        let executed: Vec<f64> = (0..2)
+            .map(|j| first.flows[j].iter().filter(|&&(_, t, _)| t == 0).map(|&(_, _, u)| u).sum())
+            .collect();
+        sess.advance_to(1);
+        let warm = sess.solve_step(&net, &cap, &no_realized).unwrap();
+        assert!(warm.lp_stats.warm_primal + warm.lp_stats.warm_dual >= 1, "{:?}", warm.lp_stats);
+        assert_eq!(warm.lp_stats.cold_starts, 1, "{:?}", warm.lp_stats);
+        // Frozen steps are excluded from the installed plan.
+        for j in 0..2 {
+            assert!(warm.flows[j].iter().all(|&(_, t, _)| t >= 1));
+        }
+        let fresh_jobs = vec![
+            Job::new(
+                0,
+                single_path(&net, a, b),
+                1,
+                5,
+                2.0,
+                (10.0 - executed[0]).max(0.0),
+                30.0 - executed[0],
+            ),
+            Job::new(1, single_path(&net, a, b), 1, 3, 1.0, 0.0, 20.0 - executed[1]),
+        ];
+        let fresh_problem = ScheduleProblem { jobs: &fresh_jobs, from: 1, ..problem };
+        let fresh = solve(&fresh_problem).unwrap();
+        for j in 0..2 {
+            assert!(
+                (warm.delivered[j] - fresh.delivered[j]).abs() < 1e-6,
+                "job {j}: session {} vs rebuild {}",
+                warm.delivered[j],
+                fresh.delivered[j]
+            );
+        }
+    }
+
+    #[test]
+    fn job_added_mid_session_matches_rebuild() {
+        // A second job arrives after one step has executed; appending it to
+        // the live session must give the same remaining plan as rebuilding
+        // from scratch with both jobs.
+        let (net, a, b) = line_net();
+        let grid = TimeGrid::new(6, 30);
+        let jobs = vec![Job::new(0, single_path(&net, a, b), 0, 4, 1.0, 0.0, 25.0)];
+        let cap = |e: EdgeId, t: Timestep| net.edge(e).capacity * (t < 6) as u8 as f64;
+        let problem = ScheduleProblem {
+            net: &net,
+            grid: &grid,
+            from: 0,
+            to: 6,
+            jobs: &jobs,
+            capacity: &cap,
+            realized: &no_realized,
+            topk: TopkEncoding::CVar,
+            cost_scale: 1.0,
+        };
+        let mut sess = ScheduleSession::new(&problem);
+        let first = sess.solve_step(&net, &cap, &no_realized).unwrap();
+        let exec0: f64 =
+            first.flows[0].iter().filter(|&&(_, t, _)| t == 0).map(|&(_, _, u)| u).sum();
+        sess.advance_to(1);
+        // High-value latecomer with a tight deadline: it must displace the
+        // incumbent on the shared edge, which only works if its columns
+        // entered the materialized capacity rows.
+        let late = Job::new(1, single_path(&net, a, b), 1, 2, 5.0, 15.0, 15.0);
+        assert_eq!(sess.add_job(late.clone()), 1);
+        let warm = sess.solve_step(&net, &cap, &no_realized).unwrap();
+        let fresh_jobs =
+            vec![Job::new(0, single_path(&net, a, b), 1, 4, 1.0, 0.0, 25.0 - exec0), late];
+        let fresh_problem = ScheduleProblem { jobs: &fresh_jobs, from: 1, ..problem };
+        let fresh = solve(&fresh_problem).unwrap();
+        for j in 0..2 {
+            assert!(
+                (warm.delivered[j] - fresh.delivered[j]).abs() < 1e-6,
+                "job {j}: session {} vs rebuild {}",
+                warm.delivered[j],
+                fresh.delivered[j]
+            );
+        }
+        // The latecomer's guarantee is enforced through the live session.
+        assert!(warm.shortfall[1] < 1e-6, "shortfall {:?}", warm.shortfall);
+        // Capacity respected at every remaining step.
+        for t in 1..6 {
+            let mut u = 0.0;
+            for f in &warm.flows {
+                u += f.iter().filter(|&&(_, ft, _)| ft == t).map(|&(_, _, x)| x).sum::<f64>();
+            }
+            assert!(u <= 10.0 + 1e-6, "t={t}: {u}");
+        }
+    }
+
+    #[test]
+    fn capacity_refresh_replans_around_loss() {
+        // Capacity halves after the first solve; the session must detect
+        // the violated materialized rows via the RHS refresh and replan.
+        let (net, a, b) = line_net();
+        let grid = TimeGrid::new(6, 30);
+        let jobs = vec![Job::new(0, single_path(&net, a, b), 0, 5, 2.0, 0.0, 40.0)];
+        let full_cap = |e: EdgeId, _t: Timestep| net.edge(e).capacity;
+        let problem = ScheduleProblem {
+            net: &net,
+            grid: &grid,
+            from: 0,
+            to: 6,
+            jobs: &jobs,
+            capacity: &full_cap,
+            realized: &no_realized,
+            topk: TopkEncoding::CVar,
+            cost_scale: 1.0,
+        };
+        let mut sess = ScheduleSession::new(&problem);
+        let first = sess.solve_step(&net, &full_cap, &no_realized).unwrap();
+        assert!((first.delivered[0] - 40.0).abs() < 1e-6);
+        sess.advance_to(1);
+        let half_cap = |e: EdgeId, _t: Timestep| net.edge(e).capacity * 0.5;
+        let after = sess.solve_step(&net, &half_cap, &no_realized).unwrap();
+        for t in 1..6 {
+            let u: f64 =
+                after.flows[0].iter().filter(|&&(_, ft, _)| ft == t).map(|&(_, _, x)| x).sum();
+            assert!(u <= 5.0 + 1e-6, "t={t}: {u} exceeds halved capacity");
+        }
     }
 
     #[test]

@@ -8,13 +8,12 @@
 //! window's prices forward (§4.3).
 
 use pretium_net::{EdgeId, Network, TimeGrid, Timestep};
-use serde::{Deserialize, Serialize};
 
 /// Short-term congestion pricing rule (§4.1): once a link-timestep's
 /// reserved fraction crosses `threshold`, the remaining capacity is priced
 /// at `factor ×` the base price. Functionally equivalent to splitting each
 /// link into two parallel links with different prices.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PriceBump {
     /// Utilization fraction beyond which the bump applies (paper: 0.8).
     pub threshold: f64,
@@ -68,15 +67,9 @@ impl NetworkState {
         NetworkState {
             grid,
             horizon,
-            prices: net
-                .edge_ids()
-                .map(|e| vec![initial_price(e).max(0.0); horizon])
-                .collect(),
+            prices: net.edge_ids().map(|e| vec![initial_price(e).max(0.0); horizon]).collect(),
             reserved: vec![vec![0.0; horizon]; ne],
-            highpri: capacity
-                .iter()
-                .map(|&c| vec![c * highpri_fraction; horizon])
-                .collect(),
+            highpri: capacity.iter().map(|&c| vec![c * highpri_fraction; horizon]).collect(),
             capacity,
             bump,
         }

@@ -17,10 +17,9 @@
 //! `ablation_topk_encoding` compares their LP sizes and solve times.
 
 use pretium_lp::{Cmp, LinExpr, Model, Var};
-use serde::{Deserialize, Serialize};
 
 /// Which top-k encoding the scheduling LPs use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TopkEncoding {
     /// The paper's Theorem 4.2 construction (`O(kT)` rows).
     SortingNetwork,
@@ -174,10 +173,7 @@ mod tests {
             let want = top_k_sum(&values, k);
             for enc in [TopkEncoding::SortingNetwork, TopkEncoding::CVar] {
                 let (got, _, _) = solve_topk(&values, k, enc);
-                assert!(
-                    (got - want).abs() < 1e-7,
-                    "{enc:?} k={k}: got {got}, want {want}"
-                );
+                assert!((got - want).abs() < 1e-7, "{enc:?} k={k}: got {got}, want {want}");
             }
         }
     }

@@ -1,13 +1,18 @@
 //! End-to-end tests of the Pretium façade: the Figure 2 worked example and
 //! full RA → SAM → execute → PC loops on small networks.
 
-use pretium_core::{
-    Pretium, PretiumConfig, PriceBump, RequestParams,
-};
+use pretium_core::{Pretium, PretiumConfig, PriceBump, RequestParams};
 use pretium_net::{topology, LinkCost, Network, Region, TimeGrid, UsageTracker};
 use pretium_workload::RequestId;
 
-fn params(id: u32, src: u32, dst: u32, demand: f64, start: usize, deadline: usize) -> RequestParams {
+fn params(
+    id: u32,
+    src: u32,
+    dst: u32,
+    demand: f64,
+    start: usize,
+    deadline: usize,
+) -> RequestParams {
     RequestParams {
         id: RequestId(id),
         src: pretium_net::NodeId(src),
@@ -141,10 +146,7 @@ fn full_loop_meets_guarantees_and_adapts_prices() {
     // After PC, prices in window 1 should be above the cold-start floor on
     // the congested edge (its capacity rows were binding in hindsight).
     let p_w1 = pretium.state().price(e, grid.window_start(1));
-    assert!(
-        p_w1 > 0.01 + 1e-9,
-        "expected congestion-driven price, got {p_w1}"
-    );
+    assert!(p_w1 > 0.01 + 1e-9, "expected congestion-driven price, got {p_w1}");
     assert_eq!(pretium.pc_runs(), 1);
 }
 
@@ -201,11 +203,7 @@ fn sam_reroutes_after_fault() {
     net.add_edge(m2, t, 10.0, LinkCost::owned());
     let sm1 = net.find_edge(s, m1).unwrap();
     let grid = TimeGrid::new(4, 30);
-    let cfg = PretiumConfig {
-        highpri_fraction: 0.0,
-        k_paths: 2,
-        ..Default::default()
-    };
+    let cfg = PretiumConfig { highpri_fraction: 0.0, k_paths: 2, ..Default::default() };
     let mut pretium = Pretium::new(net.clone(), grid, 4, cfg);
     let mut usage = UsageTracker::new(net.num_edges(), 4);
     let p = params(0, 0, 3, 20.0, 0, 3);
@@ -223,12 +221,7 @@ fn sam_reroutes_after_fault() {
         pretium.execute_step(now, &mut usage);
     }
     let c = pretium.contract(id);
-    assert!(
-        c.guarantee_met(),
-        "delivered {} of guaranteed {}",
-        c.delivered,
-        c.guaranteed
-    );
+    assert!(c.guarantee_met(), "delivered {} of guaranteed {}", c.delivered, c.guaranteed);
     // Everything after the fault must avoid S->M1.
     for t_ in 1..4 {
         assert!(usage.at(sm1, t_) < 1e-9, "flow on dead link at t={t_}");

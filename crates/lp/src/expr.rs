@@ -144,12 +144,7 @@ impl LinExpr {
     /// # Panics
     /// Panics if a term references a variable index `>= values.len()`.
     pub fn eval(&self, values: &[f64]) -> f64 {
-        self.constant
-            + self
-                .terms
-                .iter()
-                .map(|t| t.coef * values[t.var.index()])
-                .sum::<f64>()
+        self.constant + self.terms.iter().map(|t| t.coef * values[t.var.index()]).sum::<f64>()
     }
 
     /// The expression as a map `var -> merged coefficient`.

@@ -58,31 +58,31 @@ pub struct LazyOutcome {
 ///
 /// `max_rounds` bounds the generation loop; if it is exhausted while rows
 /// are still violated, `SolveError::IterationLimit` is returned.
+///
+/// Deprecated: a free-standing call cannot keep the basis between rounds
+/// (nor across repeated invocations). [`crate::SolverSession::solve_lazy`]
+/// warm-starts every generation round from the previous basis and carries
+/// it to the next call.
+#[deprecated(since = "0.2.0", note = "use SolverSession::solve_lazy, which warm-starts rounds")]
 pub fn solve_with_rows(
     model: &mut Model,
     gen: &mut dyn RowGen,
     max_rounds: u32,
 ) -> Result<LazyOutcome, SolveError> {
-    let mut generated = Vec::new();
-    let mut rounds = 0;
-    loop {
-        rounds += 1;
-        let solution = model.solve()?;
-        let violated = gen.violated(model, &solution);
-        if violated.is_empty() {
-            return Ok(LazyOutcome { solution, generated, rounds });
-        }
-        if rounds >= max_rounds {
-            return Err(SolveError::IterationLimit { iterations: rounds as u64 });
-        }
-        for r in violated {
-            let id = model.add_row(&r.name, r.expr, r.cmp, r.rhs);
-            generated.push((r.key, id));
-        }
-    }
+    use crate::session::{SolveOptions, SolverSession};
+    // Temporarily take ownership so the rounds share one session; generated
+    // rows stay in `model` either way.
+    let sense = model.sense();
+    let owned = std::mem::replace(model, Model::new(sense));
+    let mut session = SolverSession::new(owned);
+    let opts = SolveOptions { max_rounds, ..Default::default() };
+    let result = session.solve_lazy(gen, &opts);
+    *model = session.into_model();
+    result
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::{Model, Sense};
@@ -94,11 +94,8 @@ mod tests {
         let mut m = Model::new(Sense::Maximize);
         let x = m.add_var("x", 0.0, 10.0, 1.0);
         let y = m.add_var("y", 0.0, 10.0, 1.0);
-        let hidden: Vec<(LinExpr, f64, u64)> = vec![
-            (LinExpr::from(x), 3.0, 0),
-            (LinExpr::from(y), 2.0, 1),
-            (x + y, 4.0, 2),
-        ];
+        let hidden: Vec<(LinExpr, f64, u64)> =
+            vec![(LinExpr::from(x), 3.0, 0), (LinExpr::from(y), 2.0, 1), (x + y, 4.0, 2)];
         let mut gen = move |model: &Model, sol: &Solution| {
             hidden
                 .iter()
@@ -113,7 +110,9 @@ mod tests {
                 .collect::<Vec<_>>()
                 .into_iter()
                 // deduplicate against rows already added
-                .filter(|r| !(0..model.num_rows()).any(|i| model.row_name(RowId::from_index(i)) == r.name))
+                .filter(|r| {
+                    !(0..model.num_rows()).any(|i| model.row_name(RowId::from_index(i)) == r.name)
+                })
                 .collect()
         };
         let out = solve_with_rows(&mut m, &mut gen, 10).unwrap();

@@ -11,43 +11,75 @@
 //!
 //! * [`Model`] — incremental LP builder (variables with bounds, linear
 //!   rows, max/min objective) with operator-overloaded [`LinExpr`]s.
+//! * [`SolverSession`] — the primary solve surface: a model plus the basis
+//!   of its last solve. Mutations (`set_rhs`, `set_bounds`, `set_obj`,
+//!   `add_row`, `add_var`) go through the session, and each re-solve picks
+//!   the cheapest restart — primal warm start after objective changes, dual
+//!   simplex after RHS/bound changes or appended rows, cold only when the
+//!   basis cannot be reused. [`Model::solve`] remains as a one-shot
+//!   convenience.
 //! * [`simplex`] — bounded-variable revised simplex: dense `LU` basis
 //!   factorization with a product-form eta file, crash basis, two phases,
-//!   Dantzig pricing with a Bland's-rule anti-cycling fallback.
+//!   Dantzig pricing with a Bland's-rule anti-cycling fallback, and a
+//!   bounded-variable dual simplex for warm restarts.
 //! * [`lazy`] — violated-row generation: solve with a subset of rows and
 //!   add capacity rows only when a tentative optimum violates them. The
 //!   schedule LPs in Pretium have `|E|·T` capacity rows of which only a few
-//!   percent ever bind; this keeps basis sizes small.
+//!   percent ever bind; this keeps basis sizes small. Use
+//!   [`SolverSession::solve_lazy`] so each generation round warm-starts.
 //! * [`validate`] — independent optimality checks (primal feasibility,
 //!   dual feasibility, complementary slackness) used heavily in tests.
 //!
-//! ## Example
+//! ## Example: session lifecycle
+//!
+//! Build a model, wrap it in a session, and re-optimize across mutations —
+//! the pattern Pretium's SAM uses every timestep:
 //!
 //! ```
-//! use pretium_lp::{Model, Sense, Cmp};
+//! use pretium_lp::{Cmp, Model, Restart, Sense, SolveOptions, SolverSession};
 //!
 //! // max 3x + 2y  s.t.  x + y <= 4,  x + 3y <= 6,  x,y >= 0
 //! let mut m = Model::new(Sense::Maximize);
 //! let x = m.add_nonneg("x", 3.0);
 //! let y = m.add_nonneg("y", 2.0);
-//! let r1 = m.add_row("r1", x + y, Cmp::Le, 4.0);
+//! let cap = m.add_row("cap", x + y, Cmp::Le, 4.0);
 //! let _r2 = m.add_row("r2", 1.0 * x + 3.0 * y, Cmp::Le, 6.0);
-//! let sol = m.solve().unwrap();
+//!
+//! // First solve is cold and records the optimal basis.
+//! let mut session = m.into_session();
+//! let sol = session.solve(&SolveOptions::default()).unwrap();
 //! assert!((sol.objective() - 12.0).abs() < 1e-7);
 //! assert!((sol.value(x) - 4.0).abs() < 1e-7);
-//! // Binding row r1 carries the shadow price of capacity.
-//! assert!(sol.dual(r1) > 0.0);
+//! // Binding capacity row carries the shadow price.
+//! assert!(sol.dual(cap) > 0.0);
+//!
+//! // Capacity moved past what r2 allows (a SAM timestep): the old basis is
+//! // primal infeasible but still dual feasible — dual simplex repairs it.
+//! session.set_rhs(cap, 7.0);
+//! let sol = session.solve(&SolveOptions::default()).unwrap();
+//! assert!((sol.objective() - 18.0).abs() < 1e-7);
+//! assert_eq!(session.last_restart(), Some(Restart::WarmDual));
+//!
+//! // Values shifted (new prices): the basis stays primal feasible, so the
+//! // restart is a pure primal continuation.
+//! session.set_obj(y, 4.0);
+//! session.solve(&SolveOptions::default()).unwrap();
+//! assert_eq!(session.last_restart(), Some(Restart::WarmPrimal));
 //! ```
 
 pub mod expr;
 pub mod lazy;
 pub mod model;
+pub mod session;
 pub mod simplex;
 pub mod solution;
 pub mod validate;
 
 pub use expr::{LinExpr, Term, Var};
-pub use lazy::{solve_with_rows, RowGen, RowRequest};
+#[allow(deprecated)]
+pub use lazy::solve_with_rows;
+pub use lazy::{LazyOutcome, RowGen, RowRequest};
 pub use model::{Cmp, Model, RowId, Sense};
-pub use simplex::SimplexOptions;
+pub use session::{Mutations, SessionStats, SolveOptions, SolverSession};
+pub use simplex::{Restart, SimplexOptions};
 pub use solution::{Solution, SolveError, Status};

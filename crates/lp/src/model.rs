@@ -18,7 +18,7 @@
 
 use crate::expr::{LinExpr, Var};
 use crate::simplex::{solve_model, SimplexOptions};
-use crate::solution::{SolveError, Solution};
+use crate::solution::{Solution, SolveError};
 
 /// Optimization direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -161,13 +161,31 @@ impl Model {
         }
         let idx = self.rows.len();
         assert!(idx < u32::MAX as usize, "too many rows");
-        self.rows.push(RowData {
-            name: name.to_string(),
-            terms,
-            cmp,
-            rhs: rhs - expr.constant(),
-        });
+        self.rows.push(RowData { name: name.to_string(), terms, cmp, rhs: rhs - expr.constant() });
         RowId(idx as u32)
+    }
+
+    /// Add `coef · v` to an existing row's left-hand side, merging with any
+    /// term the row already carries for `v`. This is how incrementally grown
+    /// models retrofit a newly added variable into rows that were
+    /// materialized earlier (e.g. a new job entering an existing capacity
+    /// constraint).
+    ///
+    /// # Panics
+    /// Panics if `v` does not belong to this model or `coef` is not finite.
+    pub fn add_term(&mut self, r: RowId, v: Var, coef: f64) {
+        assert!(
+            v.index() < self.vars.len(),
+            "add_term on row `{}`: unknown variable index {}",
+            self.rows[r.index()].name,
+            v.index()
+        );
+        assert!(coef.is_finite(), "add_term: non-finite coefficient");
+        let row = &mut self.rows[r.index()];
+        match row.terms.binary_search_by_key(&v.0, |&(j, _)| j) {
+            Ok(i) => row.terms[i].1 += coef,
+            Err(i) => row.terms.insert(i, (v.0, coef)),
+        }
     }
 
     /// Replace the objective coefficient of `v`.
@@ -230,22 +248,33 @@ impl Model {
 
     /// Evaluate a row's left-hand side under an assignment.
     pub fn row_lhs(&self, r: RowId, values: &[f64]) -> f64 {
-        self.rows[r.index()]
-            .terms
-            .iter()
-            .map(|&(j, c)| c * values[j as usize])
-            .sum()
+        self.rows[r.index()].terms.iter().map(|&(j, c)| c * values[j as usize]).sum()
     }
 
     /// Solve the model to optimality with the revised simplex method.
+    ///
+    /// This is a one-shot convenience (always a cold solve). When the model
+    /// will be mutated and re-solved — schedule re-optimization, lazy row
+    /// generation — wrap it in a [`crate::SolverSession`] instead, which
+    /// warm-starts each re-solve from the previous basis.
     pub fn solve(&self) -> Result<Solution, SolveError> {
         solve_model(self, &self.options)
     }
 
     /// Solve with explicit options (leaves the model's stored options
     /// untouched).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use SolverSession::solve with SolveOptions { simplex: Some(..), .. }"
+    )]
     pub fn solve_with(&self, options: &SimplexOptions) -> Result<Solution, SolveError> {
         solve_model(self, options)
+    }
+
+    /// Move the model into a [`crate::SolverSession`] for incremental
+    /// re-optimization.
+    pub fn into_session(self) -> crate::SolverSession {
+        crate::SolverSession::new(self)
     }
 }
 
@@ -276,6 +305,20 @@ mod tests {
         let _x = m.add_var("x", 0.0, 1.0, 0.0);
         let mut other = Model::new(Sense::Minimize);
         other.add_row("r", 1.0 * Var(5), Cmp::Le, 1.0);
+    }
+
+    #[test]
+    fn add_term_inserts_and_merges() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 10.0, 1.0);
+        let r = m.add_row("r", 1.0 * x, Cmp::Le, 4.0);
+        let y = m.add_var("y", 0.0, 10.0, 1.0);
+        m.add_term(r, y, 1.0);
+        m.add_term(r, x, 2.0);
+        assert_eq!(m.rows[0].terms, vec![(0, 3.0), (1, 1.0)]);
+        // The extended row binds both variables.
+        let sol = m.solve().unwrap();
+        assert!((3.0 * sol.value(x) + sol.value(y) - 4.0).abs() < 1e-6);
     }
 
     #[test]

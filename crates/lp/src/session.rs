@@ -1,0 +1,544 @@
+//! Persistent solver sessions with warm-started re-optimization.
+//!
+//! A [`SolverSession`] owns a [`Model`] together with the basis of its last
+//! solve. Incremental mutations (`set_rhs`, `set_bounds`, `set_obj`,
+//! `add_row`, `add_var`) go through the session so it can track which
+//! mutation classes occurred, and every re-solve picks the cheapest restart
+//! that is still correct:
+//!
+//! * **objective-only changes** leave the basis primal feasible — primal
+//!   simplex continues from it directly ([`Restart::WarmPrimal`]);
+//! * **RHS / bound changes** leave the basis dual feasible — the dual
+//!   simplex repairs primal feasibility ([`Restart::WarmDual`]); this is the
+//!   SAM-timestep case, where capacities and executed amounts move between
+//!   re-optimizations;
+//! * **appended rows** seat their slack in the basis (duals of existing rows
+//!   are unchanged, so dual feasibility survives) and restart dual — the
+//!   lazy capacity-row case;
+//! * **appended variables** rest at a bound; if that disturbs feasibility
+//!   the dual/primal repair machinery handles it.
+//!
+//! Anything the warm path cannot absorb falls back to a full cold solve, so
+//! a session solve always returns the same certified optimum a fresh
+//! [`Model::solve`] would — warm starting is purely a performance property
+//! (the property tests assert primal, dual, and objective agreement to
+//! 1e-7).
+//!
+//! ```
+//! use pretium_lp::{Cmp, Restart, SolveOptions, SolverSession, Model, Sense};
+//!
+//! let mut m = Model::new(Sense::Maximize);
+//! let x = m.add_nonneg("x", 3.0);
+//! let y = m.add_nonneg("y", 2.0);
+//! let cap = m.add_row("cap", x + y, Cmp::Le, 4.0);
+//! let _r2 = m.add_row("r2", 1.0 * x + 3.0 * y, Cmp::Le, 6.0);
+//! let mut session = SolverSession::new(m);
+//! let first = session.solve(&SolveOptions::default()).unwrap();
+//! assert!((first.objective() - 12.0).abs() < 1e-7);
+//!
+//! // Capacity changes re-optimize from the saved basis, not from scratch.
+//! session.set_rhs(cap, 7.0);
+//! let second = session.solve(&SolveOptions::default()).unwrap();
+//! assert!((second.objective() - 18.0).abs() < 1e-7);
+//! assert_eq!(session.last_restart(), Some(Restart::WarmDual));
+//! ```
+
+use crate::expr::{LinExpr, Var};
+use crate::lazy::{LazyOutcome, RowGen};
+use crate::model::{Cmp, Model, RowId};
+use crate::simplex::{solve_model_session, Restart, SimplexOptions, WarmBasis};
+use crate::solution::{Solution, SolveError};
+
+/// Options for one [`SolverSession::solve`] call.
+#[derive(Debug, Clone, Default)]
+pub struct SolveOptions {
+    /// Simplex parameter override; `None` uses the model's stored options.
+    pub simplex: Option<SimplexOptions>,
+    /// Discard the saved basis and solve from scratch.
+    pub force_cold: bool,
+    /// Round cap for [`SolverSession::solve_lazy`]; `0` selects the default
+    /// of 50 rounds.
+    pub max_rounds: u32,
+}
+
+/// Which mutation classes are pending since the last solve.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Mutations {
+    /// Objective coefficients or offset changed.
+    pub obj: bool,
+    /// A row right-hand side changed.
+    pub rhs: bool,
+    /// Variable bounds changed.
+    pub bounds: bool,
+    /// Rows appended since the last solve.
+    pub added_rows: u32,
+    /// Variables appended since the last solve.
+    pub added_vars: u32,
+    /// Coefficients retrofitted into rows since the last solve.
+    pub new_terms: u32,
+}
+
+impl Mutations {
+    /// True when nothing changed since the last solve.
+    pub fn is_clean(&self) -> bool {
+        *self == Mutations::default()
+    }
+}
+
+/// Restart counters accumulated over the session's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Total solves (lazy rounds count individually).
+    pub solves: u64,
+    /// Solves that ran from a crash basis.
+    pub cold_starts: u64,
+    /// Warm restarts that needed only primal phase 2.
+    pub warm_primal: u64,
+    /// Warm restarts that ran the dual simplex first.
+    pub warm_dual: u64,
+    /// Total simplex iterations across all solves.
+    pub iterations: u64,
+}
+
+impl SessionStats {
+    fn record(&mut self, restart: Restart, iterations: u64) {
+        self.solves += 1;
+        self.iterations += iterations;
+        match restart {
+            Restart::Cold => self.cold_starts += 1,
+            Restart::WarmPrimal => self.warm_primal += 1,
+            Restart::WarmDual => self.warm_dual += 1,
+        }
+    }
+
+    /// Fraction of solves that reused the previous basis.
+    pub fn warm_fraction(&self) -> f64 {
+        if self.solves == 0 {
+            return 0.0;
+        }
+        (self.warm_primal + self.warm_dual) as f64 / self.solves as f64
+    }
+
+    /// Fold another counter set into this one (aggregating stats across
+    /// several sessions, e.g. one per SAM window).
+    pub fn merge(&mut self, other: SessionStats) {
+        self.solves += other.solves;
+        self.cold_starts += other.cold_starts;
+        self.warm_primal += other.warm_primal;
+        self.warm_dual += other.warm_dual;
+        self.iterations += other.iterations;
+    }
+}
+
+/// A [`Model`] plus the factorized basis of its last solve.
+///
+/// Created with [`SolverSession::new`] (or [`Model::into_session`]); see the
+/// [module docs](self) for the restart rules. The session exposes the same
+/// mutators as [`Model`] — route all changes through it so the basis
+/// snapshot and mutation tracking stay consistent.
+#[derive(Debug, Clone)]
+pub struct SolverSession {
+    model: Model,
+    basis: Option<WarmBasis>,
+    pending: Mutations,
+    stats: SessionStats,
+    last_restart: Option<Restart>,
+    /// Model size at the last basis snapshot; columns/rows past these marks
+    /// were appended afterwards and are never referenced by the saved basis.
+    solved_vars: usize,
+    solved_rows: usize,
+}
+
+impl SolverSession {
+    /// Wrap a model in a fresh session (no saved basis; the first solve is
+    /// cold).
+    pub fn new(model: Model) -> Self {
+        SolverSession {
+            model,
+            basis: None,
+            pending: Mutations::default(),
+            stats: SessionStats::default(),
+            last_restart: None,
+            solved_vars: 0,
+            solved_rows: 0,
+        }
+    }
+
+    /// The wrapped model (read-only; mutate through the session methods).
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// Unwrap the model, discarding the saved basis.
+    pub fn into_model(self) -> Model {
+        self.model
+    }
+
+    /// Mutation classes pending since the last solve.
+    pub fn pending_mutations(&self) -> Mutations {
+        self.pending
+    }
+
+    /// How the most recent solve restarted, if any solve has run.
+    pub fn last_restart(&self) -> Option<Restart> {
+        self.last_restart
+    }
+
+    /// Lifetime restart counters.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// True when a basis from a previous solve is available for warm
+    /// starting.
+    pub fn has_basis(&self) -> bool {
+        self.basis.is_some()
+    }
+
+    /// Drop the saved basis; the next solve runs cold.
+    pub fn invalidate(&mut self) {
+        self.basis = None;
+    }
+
+    /// Mutable solver options of the wrapped model (does not invalidate the
+    /// basis).
+    pub fn options_mut(&mut self) -> &mut SimplexOptions {
+        self.model.options_mut()
+    }
+
+    // --- mutators (mirror Model, with mutation-class tracking) ------------
+
+    /// See [`Model::add_var`].
+    pub fn add_var(&mut self, name: &str, lb: f64, ub: f64, obj: f64) -> Var {
+        self.pending.added_vars += 1;
+        if obj != 0.0 {
+            self.pending.obj = true;
+        }
+        self.model.add_var(name, lb, ub, obj)
+    }
+
+    /// See [`Model::add_nonneg`].
+    pub fn add_nonneg(&mut self, name: &str, obj: f64) -> Var {
+        self.add_var(name, 0.0, f64::INFINITY, obj)
+    }
+
+    /// See [`Model::add_free`].
+    pub fn add_free(&mut self, name: &str, obj: f64) -> Var {
+        self.add_var(name, f64::NEG_INFINITY, f64::INFINITY, obj)
+    }
+
+    /// See [`Model::add_row`].
+    pub fn add_row(&mut self, name: &str, expr: impl Into<LinExpr>, cmp: Cmp, rhs: f64) -> RowId {
+        self.pending.added_rows += 1;
+        self.model.add_row(name, expr, cmp, rhs)
+    }
+
+    /// See [`Model::add_term`]. Warm-start compatible whenever the variable
+    /// *or* the row was appended after the last solve: the saved basis never
+    /// references the new column/row pairing, so extending the matrix there
+    /// leaves it reusable (a fresh nonbasic column, or a fresh row whose
+    /// slack is seated basic with dual zero). Retrofitting a coefficient
+    /// between a pre-existing row and a pre-existing variable rewrites the
+    /// factorized basis matrix itself, so the basis is discarded and the
+    /// next solve runs cold.
+    pub fn add_term(&mut self, r: RowId, v: Var, coef: f64) {
+        self.pending.new_terms += 1;
+        if v.index() < self.solved_vars && r.index() < self.solved_rows {
+            self.invalidate();
+        }
+        self.model.add_term(r, v, coef);
+    }
+
+    /// See [`Model::set_obj`].
+    pub fn set_obj(&mut self, v: Var, obj: f64) {
+        self.pending.obj = true;
+        self.model.set_obj(v, obj);
+    }
+
+    /// See [`Model::set_bounds`].
+    pub fn set_bounds(&mut self, v: Var, lb: f64, ub: f64) {
+        self.pending.bounds = true;
+        self.model.set_bounds(v, lb, ub);
+    }
+
+    /// See [`Model::set_rhs`].
+    pub fn set_rhs(&mut self, r: RowId, rhs: f64) {
+        self.pending.rhs = true;
+        self.model.set_rhs(r, rhs);
+    }
+
+    /// See [`Model::add_obj_offset`].
+    pub fn add_obj_offset(&mut self, c: f64) {
+        self.pending.obj = true;
+        self.model.add_obj_offset(c);
+    }
+
+    /// Append-only access to the underlying model, for helpers that build
+    /// structure directly on a [`Model`] (e.g. encoding builders that add a
+    /// block of variables and rows). Additions are counted into the pending
+    /// mutation set afterwards by diffing the model dimensions.
+    ///
+    /// The closure must only *append*: add variables, add rows, and touch
+    /// the entries it added. Mutating pre-existing coefficients, bounds,
+    /// RHS values, or objective entries through this hook bypasses mutation
+    /// tracking and can silently corrupt warm restarts — use the session's
+    /// own mutators for those.
+    pub fn append_with<R>(&mut self, f: impl FnOnce(&mut Model) -> R) -> R {
+        let (nv, nr) = (self.model.num_vars(), self.model.num_rows());
+        let out = f(&mut self.model);
+        self.pending.added_vars += (self.model.num_vars() - nv) as u32;
+        self.pending.added_rows += (self.model.num_rows() - nr) as u32;
+        out
+    }
+
+    // --- solving ----------------------------------------------------------
+
+    /// Re-optimize, reusing the saved basis when possible.
+    ///
+    /// The restart that actually ran is readable via
+    /// [`SolverSession::last_restart`]; the result is always the certified
+    /// optimum of the current model (warm failures fall back to a cold
+    /// solve internally).
+    pub fn solve(&mut self, opts: &SolveOptions) -> Result<Solution, SolveError> {
+        let simplex = opts.simplex.clone().unwrap_or_else(|| self.model.options().clone());
+        let warm = if opts.force_cold { None } else { self.basis.as_ref() };
+        let (solution, basis, restart) = solve_model_session(&self.model, &simplex, warm)?;
+        self.basis = Some(basis);
+        self.stats.record(restart, solution.iterations());
+        self.last_restart = Some(restart);
+        self.pending = Mutations::default();
+        self.solved_vars = self.model.num_vars();
+        self.solved_rows = self.model.num_rows();
+        Ok(solution)
+    }
+
+    /// Solve with lazy row generation: repeatedly solve, ask `gen` for rows
+    /// the tentative optimum violates, append them, and re-solve **warm** —
+    /// each round restarts dual from the previous basis instead of from
+    /// scratch, which is where session reuse pays off most.
+    ///
+    /// Semantics match the row-generation contract of [`crate::lazy`]: the
+    /// generator must be monotone, and rows it never produces have dual zero
+    /// by construction.
+    pub fn solve_lazy(
+        &mut self,
+        gen: &mut dyn RowGen,
+        opts: &SolveOptions,
+    ) -> Result<LazyOutcome, SolveError> {
+        let max_rounds = if opts.max_rounds == 0 { 50 } else { opts.max_rounds };
+        let mut generated = Vec::new();
+        let mut rounds = 0;
+        loop {
+            rounds += 1;
+            let solution = self.solve(opts)?;
+            let violated = gen.violated(&self.model, &solution);
+            if violated.is_empty() {
+                return Ok(LazyOutcome { solution, generated, rounds });
+            }
+            if rounds >= max_rounds {
+                return Err(SolveError::IterationLimit { iterations: rounds as u64 });
+            }
+            for r in violated {
+                let id = self.add_row(&r.name, r.expr, r.cmp, r.rhs);
+                generated.push((r.key, id));
+            }
+        }
+    }
+}
+
+impl From<Model> for SolverSession {
+    fn from(model: Model) -> Self {
+        SolverSession::new(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Sense, Status};
+
+    fn toy() -> (SolverSession, Var, Var, RowId, RowId) {
+        // max 3x + 2y  s.t.  x + y <= 4,  x + 3y <= 6
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_nonneg("x", 3.0);
+        let y = m.add_nonneg("y", 2.0);
+        let r1 = m.add_row("r1", x + y, Cmp::Le, 4.0);
+        let r2 = m.add_row("r2", 1.0 * x + 3.0 * y, Cmp::Le, 6.0);
+        (SolverSession::new(m), x, y, r1, r2)
+    }
+
+    #[test]
+    fn first_solve_is_cold_then_rhs_change_restarts_dual() {
+        let (mut s, x, _y, r1, _r2) = toy();
+        let sol = s.solve(&SolveOptions::default()).unwrap();
+        assert_eq!(sol.status(), Status::Optimal);
+        assert!((sol.objective() - 12.0).abs() < 1e-7);
+        assert_eq!(s.last_restart(), Some(Restart::Cold));
+
+        // Relaxing r1 past what r2 allows pushes the old basis out of primal
+        // feasibility (the r2 slack would go negative): dual restart.
+        s.set_rhs(r1, 7.0);
+        let sol2 = s.solve(&SolveOptions::default()).unwrap();
+        assert!((sol2.objective() - 18.0).abs() < 1e-7);
+        assert!((sol2.value(x) - 6.0).abs() < 1e-7);
+        assert_eq!(s.last_restart(), Some(Restart::WarmDual));
+        assert_eq!(s.stats().cold_starts, 1);
+        assert_eq!(s.stats().warm_dual, 1);
+    }
+
+    #[test]
+    fn rhs_slide_within_bounds_restarts_primal() {
+        // Moving a binding RHS while every basic variable stays inside its
+        // bounds keeps the basis primal feasible — no dual pass needed.
+        let (mut s, x, _y, r1, _r2) = toy();
+        s.solve(&SolveOptions::default()).unwrap();
+        s.set_rhs(r1, 3.0);
+        let sol = s.solve(&SolveOptions::default()).unwrap();
+        assert!((sol.objective() - 9.0).abs() < 1e-7);
+        assert!((sol.value(x) - 3.0).abs() < 1e-7);
+        assert_eq!(s.last_restart(), Some(Restart::WarmPrimal));
+    }
+
+    #[test]
+    fn obj_change_restarts_primal() {
+        let (mut s, _x, y, _r1, _r2) = toy();
+        s.solve(&SolveOptions::default()).unwrap();
+        // Make y the attractive variable; the old basis stays primal
+        // feasible so the restart must be primal.
+        s.set_obj(y, 10.0);
+        let sol = s.solve(&SolveOptions::default()).unwrap();
+        assert_eq!(s.last_restart(), Some(Restart::WarmPrimal));
+        // New optimum: y = 2 on r2, x = 0 → 20.
+        assert!((sol.objective() - 20.0).abs() < 1e-7, "{}", sol.objective());
+    }
+
+    #[test]
+    fn added_row_restarts_dual() {
+        let (mut s, x, _y, _r1, _r2) = toy();
+        let sol = s.solve(&SolveOptions::default()).unwrap();
+        assert!((sol.value(x) - 4.0).abs() < 1e-7);
+        // Cut off the current optimum.
+        s.add_row("cut", 1.0 * x, Cmp::Le, 2.0);
+        let sol2 = s.solve(&SolveOptions::default()).unwrap();
+        assert_eq!(s.last_restart(), Some(Restart::WarmDual));
+        assert!(sol2.value(x) <= 2.0 + 1e-7);
+        // Agrees with a cold solve of the same model.
+        let cold = s.model().solve().unwrap();
+        assert!((sol2.objective() - cold.objective()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn added_var_reoptimizes_correctly() {
+        let (mut s, _x, _y, r1, _r2) = toy();
+        s.solve(&SolveOptions::default()).unwrap();
+        // A new, very profitable variable entering r1.
+        let z = s.add_var("z", 0.0, f64::INFINITY, 9.0);
+        // It must participate in an existing row to be bounded — rebuild the
+        // row relationship via a fresh row.
+        s.add_row("zcap", 1.0 * z, Cmp::Le, 1.0);
+        let sol = s.solve(&SolveOptions::default()).unwrap();
+        let cold = s.model().solve().unwrap();
+        assert!((sol.objective() - cold.objective()).abs() < 1e-7);
+        assert!((sol.value(z) - 1.0).abs() < 1e-7);
+        let _ = r1;
+    }
+
+    #[test]
+    fn added_var_enters_existing_row_warm() {
+        let (mut s, x, y, r1, _r2) = toy();
+        s.solve(&SolveOptions::default()).unwrap();
+        // New variable competing for r1's capacity: the column is fresh, so
+        // the saved basis stays valid and the re-solve is warm.
+        let z = s.add_var("z", 0.0, f64::INFINITY, 9.0);
+        s.add_term(r1, z, 1.0);
+        let sol = s.solve(&SolveOptions::default()).unwrap();
+        assert_ne!(s.last_restart(), Some(Restart::Cold));
+        let cold = s.model().solve().unwrap();
+        assert!((sol.objective() - cold.objective()).abs() < 1e-7);
+        // z (value 9) displaces x and y (values 3, 2) on r1 entirely.
+        assert!((sol.value(z) - 4.0).abs() < 1e-7);
+        let _ = (x, y);
+    }
+
+    #[test]
+    fn retrofitting_old_column_invalidates_basis() {
+        let (mut s, x, _y, _r1, r2) = toy();
+        s.solve(&SolveOptions::default()).unwrap();
+        assert!(s.has_basis());
+        // x already exists and r2 already exists: the basis matrix changes.
+        s.add_term(r2, x, 1.0);
+        assert!(!s.has_basis());
+        let sol = s.solve(&SolveOptions::default()).unwrap();
+        assert_eq!(s.last_restart(), Some(Restart::Cold));
+        let cold = s.model().solve().unwrap();
+        assert!((sol.objective() - cold.objective()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn force_cold_ignores_basis() {
+        let (mut s, _x, _y, r1, _r2) = toy();
+        s.solve(&SolveOptions::default()).unwrap();
+        s.set_rhs(r1, 3.0);
+        let opts = SolveOptions { force_cold: true, ..Default::default() };
+        s.solve(&opts).unwrap();
+        assert_eq!(s.last_restart(), Some(Restart::Cold));
+    }
+
+    #[test]
+    fn mutation_tracking_and_reset() {
+        let (mut s, x, _y, r1, _r2) = toy();
+        assert!(s.pending_mutations().is_clean());
+        s.set_rhs(r1, 5.0);
+        s.set_bounds(x, 0.0, 3.0);
+        let m = s.pending_mutations();
+        assert!(m.rhs && m.bounds && !m.obj);
+        s.solve(&SolveOptions::default()).unwrap();
+        assert!(s.pending_mutations().is_clean());
+    }
+
+    #[test]
+    fn infeasible_after_bound_fix_reported() {
+        let (mut s, x, y, _r1, _r2) = toy();
+        s.solve(&SolveOptions::default()).unwrap();
+        // Force x + y >= 9 while x,y <= 4 each: infeasible.
+        s.add_row("floor", x + y, Cmp::Ge, 9.0);
+        s.set_bounds(x, 0.0, 4.0);
+        s.set_bounds(y, 0.0, 4.0);
+        let err = s.solve(&SolveOptions::default()).unwrap_err();
+        assert!(matches!(err, SolveError::Infeasible { .. }), "{err}");
+    }
+
+    #[test]
+    fn lazy_rounds_reuse_basis() {
+        // max x + y, hidden rows generated lazily.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 10.0, 1.0);
+        let y = m.add_var("y", 0.0, 10.0, 1.0);
+        let mut s = SolverSession::new(m);
+        let hidden: Vec<(LinExpr, f64, u64)> =
+            vec![(LinExpr::from(x), 3.0, 0), (LinExpr::from(y), 2.0, 1), (x + y, 4.0, 2)];
+        let mut returned: std::collections::HashSet<u64> = Default::default();
+        let mut gen = move |_: &Model, sol: &Solution| {
+            let mut out = Vec::new();
+            for (e, rhs, k) in &hidden {
+                if !returned.contains(k) && e.eval(sol.values()) > rhs + 1e-7 {
+                    returned.insert(*k);
+                    out.push(crate::lazy::RowRequest {
+                        name: format!("h{k}"),
+                        expr: e.clone(),
+                        cmp: Cmp::Le,
+                        rhs: *rhs,
+                        key: *k,
+                    });
+                }
+            }
+            out
+        };
+        let out = s.solve_lazy(&mut gen, &SolveOptions::default()).unwrap();
+        assert!((out.solution.objective() - 4.0).abs() < 1e-7);
+        assert!(out.rounds >= 2);
+        // Only the first round was cold.
+        assert_eq!(s.stats().cold_starts, 1);
+        assert!(s.stats().warm_dual >= 1, "{:?}", s.stats());
+    }
+}

@@ -132,8 +132,7 @@ impl Factorization {
         // Position assignment.
         let mut pos_of_row: Vec<u32> = vec![u32::MAX; m];
         let mut order: Vec<(usize, usize)> = Vec::with_capacity(m); // (col, row)
-        let mut queue: Vec<u32> =
-            (0..m as u32).filter(|&j| cnt[j as usize] == 1).collect();
+        let mut queue: Vec<u32> = (0..m as u32).filter(|&j| cnt[j as usize] == 1).collect();
         while let Some(j) = queue.pop() {
             let j = j as usize;
             if col_pivoted[j] || cnt[j] != 1 {
@@ -484,11 +483,7 @@ mod tests {
 
     #[test]
     fn ftran_solves_general_3x3() {
-        let cols = vec![
-            vec![2.0, 1.0, 0.0],
-            vec![0.0, 3.0, 1.0],
-            vec![1.0, 0.0, 2.0],
-        ];
+        let cols = vec![vec![2.0, 1.0, 0.0], vec![0.0, 3.0, 1.0], vec![1.0, 0.0, 2.0]];
         let f = factor_of(&cols);
         let a = col(&[(0, 5.0), (1, 4.0), (2, 3.0)]);
         let mut w = Vec::new();
@@ -501,11 +496,7 @@ mod tests {
 
     #[test]
     fn btran_solves_transpose() {
-        let cols = vec![
-            vec![2.0, 1.0, 0.0],
-            vec![0.0, 3.0, 1.0],
-            vec![1.0, 0.0, 2.0],
-        ];
+        let cols = vec![vec![2.0, 1.0, 0.0], vec![0.0, 3.0, 1.0], vec![1.0, 0.0, 2.0]];
         let f = factor_of(&cols);
         let c = [1.0, 2.0, 3.0];
         let mut y = Vec::new();
@@ -551,11 +542,7 @@ mod tests {
     #[test]
     fn fully_triangular_basis_has_empty_bump() {
         // Columns form a permuted triangular system.
-        let cols = vec![
-            vec![1.0, 2.0, 0.0],
-            vec![0.0, 3.0, 0.0],
-            vec![0.0, 1.0, 4.0],
-        ];
+        let cols = vec![vec![1.0, 2.0, 0.0], vec![0.0, 3.0, 0.0], vec![0.0, 1.0, 4.0]];
         let f = factor_of(&cols);
         assert_eq!(f.bump_size(), 0);
         let mut w = Vec::new();
@@ -568,7 +555,7 @@ mod tests {
 
     #[test]
     fn singular_matrix_detected() {
-        let cols = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        let cols = [vec![1.0, 2.0], vec![2.0, 4.0]];
         let sparse: Vec<SparseCol> = cols
             .iter()
             .map(|c| c.iter().enumerate().map(|(i, &v)| (i as u32, v)).collect())
@@ -580,21 +567,13 @@ mod tests {
 
     #[test]
     fn eta_update_matches_refactor() {
-        let ident = vec![
-            vec![1.0, 0.0, 0.0],
-            vec![0.0, 1.0, 0.0],
-            vec![0.0, 0.0, 1.0],
-        ];
+        let ident = vec![vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0], vec![0.0, 0.0, 1.0]];
         let mut f = factor_of(&ident);
         let a = col(&[(0, 1.0), (1, 2.0), (2, 1.0)]);
         let mut w = Vec::new();
         f.ftran(&a, &mut w);
         assert!(f.update(1, &w));
-        let newb = vec![
-            vec![1.0, 0.0, 0.0],
-            vec![1.0, 2.0, 1.0],
-            vec![0.0, 0.0, 1.0],
-        ];
+        let newb = vec![vec![1.0, 0.0, 0.0], vec![1.0, 2.0, 1.0], vec![0.0, 0.0, 1.0]];
         let rhs = col(&[(0, 2.0), (1, 7.0), (2, 5.0)]);
         let mut via_eta = Vec::new();
         f.ftran(&rhs, &mut via_eta);
@@ -650,9 +629,9 @@ mod tests {
             let mut cols: Vec<Vec<f64>> = vec![vec![0.0; m]; m];
             for (j, colj) in cols.iter_mut().enumerate() {
                 colj[j] = 2.0 + next();
-                for i in 0..m {
+                for (i, cij) in colj.iter_mut().enumerate() {
                     if i != j && next() < 0.2 {
-                        colj[i] = next() - 0.5;
+                        *cij = next() - 0.5;
                     }
                 }
             }

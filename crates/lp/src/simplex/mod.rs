@@ -124,22 +124,180 @@ impl Problem {
     }
 }
 
-/// Solve `model` and map the internal result back to the model's sense and
-/// row/variable handles.
+/// Append-stable identifier of a basic column.
 ///
-/// A numerical failure (singular refactorization after eta-file drift on a
-/// heavily degenerate basis) triggers one conservative retry: larger pivot
-/// tolerance, more frequent refactorization, and Bland's rule throughout.
-pub(crate) fn solve_model(model: &Model, options: &SimplexOptions) -> Result<Solution, SolveError> {
-    let attempt = |options: &SimplexOptions| -> Result<(solver::Outcome, Problem), SolveError> {
-        let mut problem = Problem::from_model(model);
-        let out = solver::run(&mut problem, options, |i| model.rows[i].name.clone(), |j| {
+/// Internal column indices shift when variables are appended (every slack
+/// and artificial moves up), so a saved basis keyed by raw indices would go
+/// stale. Keys name the column by class instead: structural variables by
+/// their [`crate::Var`] index, slacks and artificials by their row. The
+/// artificial's crash-time sign is recorded so its column can be
+/// reconstructed exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BasisKey {
+    Struct(u32),
+    Slack(u32),
+    Art { row: u32, neg: bool },
+}
+
+/// A basis snapshot taken after a successful solve, in append-stable form.
+#[derive(Debug, Clone)]
+pub(crate) struct WarmBasis {
+    /// Basic column per row position (`keys.len()` = rows at snapshot time).
+    pub keys: Vec<BasisKey>,
+    /// Rest state per structural variable at snapshot time.
+    pub nb_struct: Vec<solver::NbState>,
+    /// Rest state per slack at snapshot time.
+    pub nb_slack: Vec<solver::NbState>,
+}
+
+/// How a session solve restarted the simplex method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Restart {
+    /// Fresh crash basis and both phases.
+    Cold,
+    /// Previous basis was still primal feasible; primal phase 2 only.
+    WarmPrimal,
+    /// Previous basis was dual feasible; dual simplex repaired primal
+    /// feasibility, then a primal polish finished.
+    WarmDual,
+}
+
+fn name_fns(model: &Model) -> (impl Fn(usize) -> String + '_, impl Fn(usize) -> String + '_) {
+    (
+        move |i: usize| model.rows[i].name.clone(),
+        move |j: usize| {
             if j < model.vars.len() {
                 model.vars[j].name.clone()
             } else {
                 format!("slack_{}", j - model.vars.len())
             }
-        })?;
+        },
+    )
+}
+
+/// Map a solved outcome back to the model's sense and handles.
+fn finish_solution(model: &Model, problem: &Problem, outcome: &solver::Outcome) -> Solution {
+    let sign = match model.sense {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+    let values: Vec<f64> = outcome.x[..model.vars.len()].to_vec();
+    let objective: f64 = model.vars.iter().enumerate().map(|(j, v)| v.obj * values[j]).sum::<f64>()
+        + model.obj_offset;
+    let duals: Vec<f64> = outcome.y.iter().map(|&y| sign * y).collect();
+    let reduced_costs: Vec<f64> =
+        (0..model.vars.len()).map(|j| sign * outcome.reduced_cost(problem, j)).collect();
+    Solution {
+        status: Status::Optimal,
+        objective,
+        values,
+        duals,
+        reduced_costs,
+        iterations: outcome.iterations,
+    }
+}
+
+/// Snapshot the terminal basis of `outcome` in append-stable key form.
+fn snapshot(problem: &Problem, outcome: &solver::Outcome) -> WarmBasis {
+    let keys = outcome
+        .basis
+        .iter()
+        .map(|&j| {
+            if j < problem.nstruct {
+                BasisKey::Struct(j as u32)
+            } else if j < problem.art_start {
+                BasisKey::Slack((j - problem.slack_start) as u32)
+            } else {
+                let neg = problem.cols[j].first().is_some_and(|&(_, v)| v < 0.0);
+                BasisKey::Art { row: (j - problem.art_start) as u32, neg }
+            }
+        })
+        .collect();
+    WarmBasis {
+        keys,
+        nb_struct: outcome.nb[..problem.nstruct].to_vec(),
+        nb_slack: outcome.nb[problem.slack_start..problem.art_start].to_vec(),
+    }
+}
+
+/// Resolve a saved [`WarmBasis`] against the current problem dimensions:
+/// remap keys to column indices, seat the slacks of rows appended since the
+/// snapshot, restore artificial column signs, and build the full rest-state
+/// vector. Returns `None` when the snapshot cannot apply (shrunken model,
+/// out-of-range keys).
+fn resolve_warm(
+    problem: &mut Problem,
+    warm: &WarmBasis,
+) -> Option<(Vec<usize>, Vec<solver::NbState>)> {
+    use solver::NbState;
+    let m = problem.m;
+    if warm.keys.len() > m || warm.nb_struct.len() > problem.nstruct || warm.nb_slack.len() > m {
+        return None;
+    }
+    let mut basis = Vec::with_capacity(m);
+    for key in &warm.keys {
+        let idx = match *key {
+            BasisKey::Struct(j) if (j as usize) < problem.nstruct => j as usize,
+            BasisKey::Slack(i) if (i as usize) < m => problem.slack_start + i as usize,
+            BasisKey::Art { row, neg } if (row as usize) < m => {
+                let j = problem.art_start + row as usize;
+                problem.cols[j] = vec![(row, if neg { -1.0 } else { 1.0 })];
+                j
+            }
+            _ => return None,
+        };
+        basis.push(idx);
+    }
+    // Rows appended since the snapshot get their own slack as the basic
+    // column (the standard cutting-plane extension: duals of the old rows
+    // are unchanged, so dual feasibility survives).
+    for i in warm.keys.len()..m {
+        basis.push(problem.slack_start + i);
+    }
+    let mut nb = vec![NbState::Lower; problem.n];
+    for (j, &s) in warm.nb_struct.iter().enumerate() {
+        nb[j] = s;
+    }
+    for (i, &s) in warm.nb_slack.iter().enumerate() {
+        nb[problem.slack_start + i] = s;
+    }
+    // New structurals / slacks keep the Lower default; `run_warm` normalizes
+    // every rest state against the actual bounds before solving.
+    Some((basis, nb))
+}
+
+/// Solve `model`, optionally warm-starting from a saved basis.
+///
+/// The warm path classifies the restored basis (primal feasible → primal
+/// phase 2; dual feasible → dual simplex + polish) and falls back to a cold
+/// solve on any warm failure, so the result is always the authoritative
+/// optimum. Returns the solution, a snapshot of the terminal basis for the
+/// next call, and which restart actually ran.
+pub(crate) fn solve_model_session(
+    model: &Model,
+    options: &SimplexOptions,
+    warm: Option<&WarmBasis>,
+) -> Result<(Solution, WarmBasis, Restart), SolveError> {
+    if let Some(w) = warm {
+        let mut problem = Problem::from_model(model);
+        if let Some((basis, nb)) = resolve_warm(&mut problem, w) {
+            let (rows, vars) = name_fns(model);
+            if let Ok((outcome, used_dual)) =
+                solver::run_warm(&mut problem, options, basis, nb, rows, vars)
+            {
+                let solution = finish_solution(model, &problem, &outcome);
+                let basis = snapshot(&problem, &outcome);
+                let restart = if used_dual { Restart::WarmDual } else { Restart::WarmPrimal };
+                return Ok((solution, basis, restart));
+            }
+        }
+        // Fall through to a cold solve: correctness never depends on the
+        // warm path succeeding.
+    }
+    let attempt = |options: &SimplexOptions| -> Result<(solver::Outcome, Problem), SolveError> {
+        let mut problem = Problem::from_model(model);
+        let (rows, vars) = name_fns(model);
+        let out = solver::run(&mut problem, options, rows, vars)?;
         Ok((out, problem))
     };
     let (outcome, problem) = match attempt(options) {
@@ -155,29 +313,17 @@ pub(crate) fn solve_model(model: &Model, options: &SimplexOptions) -> Result<Sol
         }
         Err(e) => return Err(e),
     };
+    let solution = finish_solution(model, &problem, &outcome);
+    let basis = snapshot(&problem, &outcome);
+    Ok((solution, basis, Restart::Cold))
+}
 
-    let sign = match model.sense {
-        Sense::Minimize => 1.0,
-        Sense::Maximize => -1.0,
-    };
-    let values: Vec<f64> = outcome.x[..model.vars.len()].to_vec();
-    let objective: f64 = model
-        .vars
-        .iter()
-        .enumerate()
-        .map(|(j, v)| v.obj * values[j])
-        .sum::<f64>()
-        + model.obj_offset;
-    let duals: Vec<f64> = outcome.y.iter().map(|&y| sign * y).collect();
-    let reduced_costs: Vec<f64> = (0..model.vars.len())
-        .map(|j| sign * outcome.reduced_cost(&problem, j))
-        .collect();
-    Ok(Solution {
-        status: Status::Optimal,
-        objective,
-        values,
-        duals,
-        reduced_costs,
-        iterations: outcome.iterations,
-    })
+/// Solve `model` and map the internal result back to the model's sense and
+/// row/variable handles.
+///
+/// A numerical failure (singular refactorization after eta-file drift on a
+/// heavily degenerate basis) triggers one conservative retry: larger pivot
+/// tolerance, more frequent refactorization, and Bland's rule throughout.
+pub(crate) fn solve_model(model: &Model, options: &SimplexOptions) -> Result<Solution, SolveError> {
+    solve_model_session(model, options, None).map(|(sol, _, _)| sol)
 }

@@ -12,7 +12,7 @@ use crate::solution::SolveError;
 
 /// Where a nonbasic variable currently rests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum NbState {
+pub(crate) enum NbState {
     Lower,
     Upper,
     /// Free variable parked at zero.
@@ -26,6 +26,10 @@ pub(crate) struct Outcome {
     /// Row duals for the internal minimization problem.
     pub y: Vec<f64>,
     pub iterations: u64,
+    /// Basic column per row position at termination.
+    pub basis: Vec<usize>,
+    /// Rest state of every column (meaningful for nonbasic ones).
+    pub nb: Vec<NbState>,
 }
 
 impl Outcome {
@@ -96,10 +100,10 @@ pub(crate) fn run(
     }
     // Residual b - A·x over nonbasic structurals (slacks rest at 0).
     let mut beta = problem.b.clone();
-    for j in 0..problem.nstruct {
-        if x[j] != 0.0 {
+    for (j, &xj) in x.iter().enumerate().take(problem.nstruct) {
+        if xj != 0.0 {
             for &(i, v) in &problem.cols[j] {
-                beta[i as usize] -= v * x[j];
+                beta[i as usize] -= v * xj;
             }
         }
     }
@@ -175,7 +179,138 @@ pub(crate) fn run(
     let mut y = Vec::new();
     st.factor.btran(&cb, &mut y);
 
-    Ok(Outcome { x: st.x, y, iterations: st.iterations })
+    Ok(Outcome { x: st.x, y, iterations: st.iterations, basis: st.basis, nb: st.nb })
+}
+
+/// Re-optimize from a known basis instead of crashing one.
+///
+/// `basis` gives the basic column per row position, `nb` the rest state of
+/// every column; both typically come from a previous [`Outcome`] on a
+/// mutated problem (the caller remaps column indices when the problem has
+/// grown). The start point is classified and the cheapest repair is run:
+///
+/// * basic values within bounds → primal phase 2 directly (objective-only
+///   changes keep the basis primal feasible);
+/// * primal infeasible → dual simplex drives the basic values back inside
+///   their bounds without losing dual feasibility (RHS / bound changes and
+///   appended cutting rows land here), then a primal phase-2 polish mops up
+///   any residual reduced-cost violations. Nonbasic columns whose reduced
+///   cost has the wrong sign (e.g. freshly added variables) are temporarily
+///   fixed at their rest value so the dual iteration starts dual feasible,
+///   and released for the polish.
+///
+/// Any structural problem with the supplied basis (wrong size, duplicate
+/// columns, singular matrix) is reported as an error; callers are expected
+/// to fall back to a cold [`run`].
+///
+/// Returns the outcome plus whether the dual simplex was needed.
+pub(crate) fn run_warm(
+    problem: &mut Problem,
+    opts: &SimplexOptions,
+    basis: Vec<usize>,
+    mut nb: Vec<NbState>,
+    row_name: impl Fn(usize) -> String,
+    var_name: impl Fn(usize) -> String,
+) -> Result<(Outcome, bool), SolveError> {
+    let m = problem.m;
+    let n = problem.n;
+    if basis.len() != m || nb.len() != n {
+        return Err(SolveError::Numerical("warm basis has wrong dimensions".into()));
+    }
+    let mut pos_of = vec![-1i32; n];
+    for (i, &k) in basis.iter().enumerate() {
+        if k >= n || pos_of[k] >= 0 {
+            return Err(SolveError::Numerical("warm basis references invalid columns".into()));
+        }
+        pos_of[k] = i as i32;
+    }
+    // Rest nonbasic columns on a bound consistent with their current bounds
+    // (bounds may have moved since the basis was recorded).
+    let mut x = vec![0.0; n];
+    for j in 0..n {
+        if pos_of[j] >= 0 {
+            continue;
+        }
+        let (lb, ub) = (problem.lb[j], problem.ub[j]);
+        let state = match nb[j] {
+            NbState::Lower if lb.is_finite() => NbState::Lower,
+            NbState::Upper if ub.is_finite() => NbState::Upper,
+            _ if lb.is_finite() => NbState::Lower,
+            _ if ub.is_finite() => NbState::Upper,
+            _ => NbState::Free,
+        };
+        nb[j] = state;
+        x[j] = match state {
+            NbState::Lower => lb,
+            NbState::Upper => ub,
+            NbState::Free => 0.0,
+        };
+    }
+
+    let max_iterations = if opts.max_iterations > 0 {
+        opts.max_iterations
+    } else {
+        20_000 + 100 * (m as u64 + problem.nstruct as u64)
+    };
+    let factor = Factorization::new(m, opts.refactor_every, opts.pivot_tol);
+    let mut st = State {
+        p: problem,
+        opts,
+        basis,
+        pos_of,
+        x,
+        nb,
+        factor,
+        iterations: 0,
+        max_iterations,
+        degenerate_run: 0,
+        w: Vec::new(),
+        y: Vec::new(),
+    };
+    st.refactor().map_err(|e| numerical(e, &row_name))?;
+
+    let cost = st.p.cost.clone();
+    let feas = opts.feas_tol;
+    let primal_feasible =
+        st.basis.iter().all(|&k| st.x[k] >= st.p.lb[k] - feas && st.x[k] <= st.p.ub[k] + feas);
+    let used_dual = !primal_feasible;
+    if !primal_feasible {
+        // Box away dual-infeasible nonbasics so the dual simplex starts from
+        // a dual-feasible point; the primal polish below reconsiders them.
+        let boxed = st.box_dual_infeasible(&cost);
+        let result = st.dual_iterate(&cost, &row_name);
+        for &(j, lb, ub) in &boxed {
+            st.p.lb[j] = lb;
+            st.p.ub[j] = ub;
+        }
+        match result {
+            Ok(()) => {}
+            Err(SolveError::Infeasible { residual }) if boxed.is_empty() => {
+                // Nothing was boxed, so the verdict applies to the original
+                // problem: no entering column can repair the violated row.
+                return Err(SolveError::Infeasible { residual });
+            }
+            Err(_) => {
+                // With columns boxed the verdict only covers the restricted
+                // problem — let the caller re-solve cold for an authoritative
+                // answer.
+                return Err(SolveError::Numerical(
+                    "dual warm start failed on the restricted problem".into(),
+                ));
+            }
+        }
+    }
+
+    // Primal phase 2: a no-op when the dual pass already reached optimality,
+    // otherwise it repairs reduced-cost violations (objective changes, newly
+    // added columns, boxed columns released above).
+    st.iterate(&cost, false, &var_name, &row_name)?;
+
+    st.refactor().map_err(|e| numerical(e, &row_name))?;
+    let cb: Vec<f64> = st.basis.iter().map(|&k| cost[k]).collect();
+    let mut y = Vec::new();
+    st.factor.btran(&cb, &mut y);
+    Ok((Outcome { x: st.x, y, iterations: st.iterations, basis: st.basis, nb: st.nb }, used_dual))
 }
 
 fn numerical(e: FactorError, row_name: &impl Fn(usize) -> String) -> SolveError {
@@ -313,12 +448,171 @@ impl<'a> State<'a> {
         }
     }
 
+    /// Temporarily fix every nonbasic column whose reduced cost violates
+    /// dual feasibility at its current rest value, and return the saved
+    /// bounds `(column, lb, ub)` so the caller can restore them.
+    fn box_dual_infeasible(&mut self, cost: &[f64]) -> Vec<(usize, f64, f64)> {
+        let cb: Vec<f64> = self.basis.iter().map(|&k| cost[k]).collect();
+        {
+            let factor = &self.factor;
+            factor.btran(&cb, &mut self.y);
+        }
+        let tol = self.opts.opt_tol;
+        let mut boxed = Vec::new();
+        for (j, &cj) in cost.iter().enumerate().take(self.p.n) {
+            if self.pos_of[j] >= 0 || self.p.lb[j] == self.p.ub[j] {
+                continue;
+            }
+            let mut d = cj;
+            for &(i, v) in &self.p.cols[j] {
+                d -= self.y[i as usize] * v;
+            }
+            let ok = match self.nb[j] {
+                NbState::Lower => d >= -tol,
+                NbState::Upper => d <= tol,
+                NbState::Free => d.abs() <= tol,
+            };
+            if !ok {
+                boxed.push((j, self.p.lb[j], self.p.ub[j]));
+                self.p.lb[j] = self.x[j];
+                self.p.ub[j] = self.x[j];
+            }
+        }
+        boxed
+    }
+
+    /// Bounded-variable dual simplex: starting from a dual-feasible basis
+    /// whose basic values violate their bounds, repeatedly pivot the most
+    /// violated basic variable out against the entering column chosen by the
+    /// dual ratio test, until primal feasibility is restored.
+    fn dual_iterate(
+        &mut self,
+        cost: &[f64],
+        row_name: &impl Fn(usize) -> String,
+    ) -> Result<(), SolveError> {
+        let m = self.p.m;
+        let mut rho = Vec::new();
+        let mut e_r = vec![0.0; m];
+        loop {
+            if self.iterations >= self.max_iterations {
+                return Err(SolveError::IterationLimit { iterations: self.iterations });
+            }
+            if self.factor.wants_refactor() {
+                self.refactor().map_err(|e| numerical(e, row_name))?;
+            }
+            // Leaving variable: the basic value with the largest bound
+            // violation. `to_lower` records which bound it will land on.
+            let feas = self.opts.feas_tol;
+            let mut leave: Option<(usize, f64, bool)> = None; // (pos, viol, to_lower)
+            for (pos, &k) in self.basis.iter().enumerate() {
+                let below = self.p.lb[k] - self.x[k];
+                let above = self.x[k] - self.p.ub[k];
+                let v = below.max(above);
+                if v > feas && leave.as_ref().is_none_or(|&(_, bv, _)| v > bv) {
+                    leave = Some((pos, v, below >= above));
+                }
+            }
+            let Some((r, viol, to_lower)) = leave else {
+                return Ok(()); // primal feasible
+            };
+            let k = self.basis[r];
+            let bound = if to_lower { self.p.lb[k] } else { self.p.ub[k] };
+            // `need` is the direction the leaving value must move.
+            let need = if to_lower { 1.0 } else { -1.0 };
+            // rho = row r of B⁻¹ (original row coordinates), so that
+            // alpha_j = rho · a_j is the pivot row entry of column j.
+            for v in e_r.iter_mut() {
+                *v = 0.0;
+            }
+            e_r[r] = 1.0;
+            self.factor.btran(&e_r, &mut rho);
+            // Current duals for the ratio test.
+            let cb: Vec<f64> = self.basis.iter().map(|&b| cost[b]).collect();
+            {
+                let factor = &self.factor;
+                factor.btran(&cb, &mut self.y);
+            }
+            let bland = self.degenerate_run > self.opts.bland_trigger;
+            // Dual ratio test: among columns whose movement drives x_k toward
+            // its bound, pick the one whose reduced cost hits zero first.
+            let mut enter: Option<(usize, f64, f64, f64)> = None; // (j, sigma, alpha, ratio)
+            for (j, &cj) in cost.iter().enumerate().take(self.p.n) {
+                if self.pos_of[j] >= 0 || self.p.lb[j] == self.p.ub[j] {
+                    continue;
+                }
+                let mut alpha = 0.0;
+                for &(i, v) in &self.p.cols[j] {
+                    alpha += rho[i as usize] * v;
+                }
+                if alpha.abs() <= 1e-9 {
+                    continue;
+                }
+                let sigma = match self.nb[j] {
+                    NbState::Lower => 1.0,
+                    NbState::Upper => -1.0,
+                    // Free columns move either way; pick the repairing one.
+                    NbState::Free => -need * alpha.signum(),
+                };
+                // x_k changes by -t·sigma·alpha; it must move along `need`.
+                if -sigma * alpha * need <= 0.0 {
+                    continue;
+                }
+                let mut d = cj;
+                for &(i, v) in &self.p.cols[j] {
+                    d -= self.y[i as usize] * v;
+                }
+                let ratio = d.abs() / alpha.abs();
+                let better = match enter {
+                    None => true,
+                    Some((bj, _, ba, br)) => {
+                        if bland {
+                            ratio < br - ZTOL || (ratio <= br + ZTOL && j < bj)
+                        } else {
+                            ratio < br - ZTOL || (ratio <= br + ZTOL && alpha.abs() > ba.abs())
+                        }
+                    }
+                };
+                if better {
+                    enter = Some((j, sigma, alpha, ratio));
+                }
+            }
+            let Some((q, sigma, alpha, _)) = enter else {
+                // No column can repair the violated row: primal infeasible.
+                return Err(SolveError::Infeasible { residual: viol });
+            };
+            // Step that lands the leaving variable exactly on its bound.
+            let t = ((self.x[k] - bound) / (sigma * alpha)).max(0.0);
+            {
+                let (p, factor, w) = (&*self.p, &self.factor, &mut self.w);
+                factor.ftran(&p.cols[q], w);
+            }
+            for (pos, &bk) in self.basis.iter().enumerate() {
+                let wi = self.w[pos];
+                if wi != 0.0 {
+                    self.x[bk] -= sigma * t * wi;
+                }
+            }
+            let entering_value = self.x[q] + sigma * t;
+            self.x[k] = bound;
+            self.nb[k] = if to_lower { NbState::Lower } else { NbState::Upper };
+            self.pos_of[k] = -1;
+            self.basis[r] = q;
+            self.pos_of[q] = r as i32;
+            self.x[q] = entering_value;
+            if !self.factor.update(r, &self.w) {
+                self.refactor().map_err(|e| numerical(e, row_name))?;
+            }
+            self.note_step(t);
+            self.iterations += 1;
+        }
+    }
+
     /// Choose an entering column: Dantzig (most negative effective reduced
     /// cost) or, under Bland's rule, the smallest eligible index.
     fn price(&self, cost: &[f64], bland: bool) -> Option<(usize, f64)> {
         let tol = self.opts.opt_tol;
         let mut best: Option<(usize, f64, f64)> = None; // (j, d, score)
-        for j in 0..self.p.n {
+        for (j, &cj) in cost.iter().enumerate().take(self.p.n) {
             if self.pos_of[j] >= 0 {
                 continue;
             }
@@ -326,7 +620,7 @@ impl<'a> State<'a> {
             if self.p.lb[j] == self.p.ub[j] {
                 continue;
             }
-            let mut d = cost[j];
+            let mut d = cj;
             for &(i, v) in &self.p.cols[j] {
                 d -= self.y[i as usize] * v;
             }
@@ -382,7 +676,8 @@ impl<'a> State<'a> {
             } else {
                 // Smallest t; ties by largest pivot magnitude (stability).
                 t < t_best - ZTOL
-                    || (t <= t_best + ZTOL && leave.as_ref().is_none_or(|&(_, _, wa)| wi.abs() > wa))
+                    || (t <= t_best + ZTOL
+                        && leave.as_ref().is_none_or(|&(_, _, wa)| wi.abs() > wa))
             };
             if t <= t_best + ZTOL && better {
                 t_best = t.min(t_best);

@@ -55,12 +55,16 @@ pub fn check_optimal(model: &Model, sol: &Solution, tol: f64) -> Vec<Violation> 
             out.push(Violation::RowInfeasible { row: model.row_name(r).into(), lhs, cmp, rhs });
         }
     }
-    for j in 0..model.num_vars() {
+    for (j, &val) in x.iter().enumerate().take(model.num_vars()) {
         let v = Var::from_index(j);
         let (lb, ub) = model.bounds(v);
-        let val = x[j];
         if val < lb - scale(lb) || val > ub + scale(ub) {
-            out.push(Violation::BoundInfeasible { var: model.var_name(v).into(), value: val, lb, ub });
+            out.push(Violation::BoundInfeasible {
+                var: model.var_name(v).into(),
+                value: val,
+                lb,
+                ub,
+            });
         }
     }
 
@@ -86,11 +90,10 @@ pub fn check_optimal(model: &Model, sol: &Solution, tol: f64) -> Vec<Violation> 
     // reduced = c_j - yᵀ A_j (model sense). At optimum of a Maximize model:
     // at lower bound => reduced <= 0, at upper bound => reduced >= 0,
     // strictly interior => reduced == 0.
-    for j in 0..model.num_vars() {
+    for (j, &val) in x.iter().enumerate().take(model.num_vars()) {
         let v = Var::from_index(j);
         let reduced = recompute_reduced(model, sol, j);
         let (lb, ub) = model.bounds(v);
-        let val = x[j];
         let at_lb = lb.is_finite() && (val - lb).abs() <= scale(lb);
         let at_ub = ub.is_finite() && (val - ub).abs() <= scale(ub);
         let rtol = tol * (1.0 + model.obj_coef(v).abs()) * 10.0;
@@ -99,14 +102,25 @@ pub fn check_optimal(model: &Model, sol: &Solution, tol: f64) -> Vec<Violation> 
             // Fixed variable: any reduced cost is fine.
         } else if at_lb {
             if s > rtol {
-                out.push(Violation::ReducedCostSign { var: model.var_name(v).into(), reduced, at: "lower" });
+                out.push(Violation::ReducedCostSign {
+                    var: model.var_name(v).into(),
+                    reduced,
+                    at: "lower",
+                });
             }
         } else if at_ub {
             if s < -rtol {
-                out.push(Violation::ReducedCostSign { var: model.var_name(v).into(), reduced, at: "upper" });
+                out.push(Violation::ReducedCostSign {
+                    var: model.var_name(v).into(),
+                    reduced,
+                    at: "upper",
+                });
             }
         } else if s.abs() > rtol {
-            out.push(Violation::Slackness { what: format!("interior var {}", model.var_name(v)), product: reduced });
+            out.push(Violation::Slackness {
+                what: format!("interior var {}", model.var_name(v)),
+                product: reduced,
+            });
         }
     }
 
@@ -124,16 +138,18 @@ pub fn check_optimal(model: &Model, sol: &Solution, tol: f64) -> Vec<Violation> 
         if slack > 1e-5 * (1.0 + rhs.abs()) && dual.abs() > 1e-5 * (1.0 + dual.abs()) {
             let product = slack * dual;
             if product.abs() > tol * 100.0 * (1.0 + rhs.abs()) {
-                out.push(Violation::Slackness { what: format!("row {}", model.row_name(r)), product });
+                out.push(Violation::Slackness {
+                    what: format!("row {}", model.row_name(r)),
+                    product,
+                });
             }
         }
     }
 
     // 5. Objective consistency.
-    let recomputed: f64 = (0..model.num_vars())
-        .map(|j| model.obj_coef(Var::from_index(j)) * x[j])
-        .sum::<f64>()
-        + model.obj_offset;
+    let recomputed: f64 =
+        (0..model.num_vars()).map(|j| model.obj_coef(Var::from_index(j)) * x[j]).sum::<f64>()
+            + model.obj_offset;
     if (recomputed - sol.objective()).abs() > tol * (1.0 + recomputed.abs()) * 10.0 {
         out.push(Violation::ObjectiveMismatch { reported: sol.objective(), recomputed });
     }
@@ -179,10 +195,5 @@ fn row_rhs(model: &Model, i: usize) -> f64 {
 }
 
 fn row_coef(model: &Model, i: usize, j: usize) -> f64 {
-    model.rows[i]
-        .terms
-        .iter()
-        .find(|&&(v, _)| v as usize == j)
-        .map(|&(_, c)| c)
-        .unwrap_or(0.0)
+    model.rows[i].terms.iter().find(|&&(v, _)| v as usize == j).map(|&(_, c)| c).unwrap_or(0.0)
 }

@@ -1,0 +1,277 @@
+//! Warm-start correctness properties.
+//!
+//! A `SolverSession` re-solve must be indistinguishable from a cold solve of
+//! the same mutated model: identical objective, primal values, and dual
+//! values to 1e-7, and a full KKT certificate on every warm result. The
+//! models are "schedule shaped" — flow variables with bounds, demand rows,
+//! and capacity rows — mutated the way SAM and the lazy row loop mutate
+//! them: RHS refreshes, bound fixes, appended rows, appended variables.
+
+use pretium_lp::validate::check_optimal;
+use pretium_lp::{Cmp, LinExpr, Model, RowId, Sense, SolveOptions, SolverSession, Var};
+
+/// Deterministic xorshift64* stream in `[0, 1)`.
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.unit()
+    }
+
+    fn index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+}
+
+struct ScheduleShaped {
+    session: SolverSession,
+    vars: Vec<Var>,
+    demand_rows: Vec<RowId>,
+    cap_rows: Vec<RowId>,
+}
+
+/// A small schedule-shaped LP: `jobs × steps` flow variables, one demand
+/// row per job (`Σ_t X ≤ demand`), one capacity row per step over a random
+/// subset of jobs (`Σ_j X ≤ cap`), maximizing value-weighted flow. Always
+/// feasible (zero flow works).
+fn schedule_shaped(g: &mut Gen) -> ScheduleShaped {
+    let jobs = 2 + g.index(4);
+    let steps = 2 + g.index(5);
+    let mut m = Model::new(Sense::Maximize);
+    let mut vars = Vec::new();
+    for j in 0..jobs {
+        let weight = g.range(0.5, 3.0);
+        for t in 0..steps {
+            vars.push(m.add_var(&format!("x_{j}_{t}"), 0.0, g.range(1.0, 6.0), weight));
+        }
+    }
+    let mut demand_rows = Vec::new();
+    for j in 0..jobs {
+        let e = LinExpr::from_terms((0..steps).map(|t| (1.0, vars[j * steps + t])));
+        demand_rows.push(m.add_row(&format!("dem{j}"), e, Cmp::Le, g.range(1.0, 8.0)));
+    }
+    let mut cap_rows = Vec::new();
+    for t in 0..steps {
+        let mut e = LinExpr::new();
+        for j in 0..jobs {
+            if g.chance(0.7) {
+                e.add_term(1.0, vars[j * steps + t]);
+            }
+        }
+        if !e.is_empty() {
+            cap_rows.push(m.add_row(&format!("cap{t}"), e, Cmp::Le, g.range(1.0, 5.0)));
+        }
+    }
+    ScheduleShaped { session: SolverSession::new(m), vars, demand_rows, cap_rows }
+}
+
+/// Apply one random mutation through the session, mirroring what SAM and
+/// the lazy-row loop do between re-solves. `last` is the solution of the
+/// previous solve (used to fix variables at *feasible* executed values, the
+/// way SAM freezes past timesteps).
+fn mutate(g: &mut Gen, s: &mut ScheduleShaped, last: &pretium_lp::Solution) {
+    match g.index(5) {
+        // Capacity refresh (SAM sees realized traffic / capacity loss).
+        0 if !s.cap_rows.is_empty() => {
+            let r = s.cap_rows[g.index(s.cap_rows.len())];
+            s.session.set_rhs(r, g.range(0.5, 6.0));
+        }
+        // Fix a variable at (a fraction of) its executed value; every row is
+        // `Le` with +1 coefficients, so reducing a variable stays feasible.
+        1 => {
+            let v = s.vars[g.index(s.vars.len())];
+            if v.index() < last.values().len() {
+                let fix = last.value(v) * g.unit();
+                s.session.set_bounds(v, fix, fix);
+            }
+        }
+        // Reweight a job (price updates shift the objective).
+        2 => {
+            let v = s.vars[g.index(s.vars.len())];
+            s.session.set_obj(v, g.range(0.1, 4.0));
+        }
+        // Append a cutting row over existing variables (lazy capacity row).
+        3 => {
+            let mut e = LinExpr::new();
+            for &v in &s.vars {
+                if g.chance(0.3) {
+                    e.add_term(1.0, v);
+                }
+            }
+            if !e.is_empty() {
+                let name = format!("cut{}", s.cap_rows.len() + 100);
+                s.cap_rows.push(s.session.add_row(&name, e, Cmp::Le, g.range(1.0, 6.0)));
+            }
+        }
+        // Append a variable tied into an existing row (new request).
+        _ => {
+            let name = format!("z{}", s.vars.len());
+            let v = s.session.add_var(&name, 0.0, g.range(0.5, 3.0), g.range(0.5, 3.0));
+            s.vars.push(v);
+            if !s.demand_rows.is_empty() {
+                let name = format!("zr{}", s.vars.len());
+                s.demand_rows.push(s.session.add_row(&name, 1.0 * v, Cmp::Le, g.range(0.5, 4.0)));
+            }
+        }
+    }
+}
+
+const TOL: f64 = 1e-7;
+
+/// Compare a warm session solve against a cold solve of the same model.
+/// Returns the warm solution when one exists (the two must agree on
+/// solvability as well as on the optimum).
+fn assert_warm_matches_cold(
+    seed: u64,
+    step: usize,
+    s: &mut ScheduleShaped,
+) -> Option<pretium_lp::Solution> {
+    let warm_result = s.session.solve(&SolveOptions::default());
+    let cold_result = s.session.model().solve();
+    let (warm, cold) = match (warm_result, cold_result) {
+        (Ok(w), Ok(c)) => (w, c),
+        (Err(we), Err(_ce)) => {
+            // Both paths reject the model (e.g. a capacity refresh dropped
+            // below already-fixed executed amounts) — agreement is the
+            // property; there is nothing further to compare.
+            let _ = we;
+            return None;
+        }
+        (Ok(w), Err(ce)) => {
+            panic!("seed {seed} step {step}: warm found {} but cold failed: {ce}", w.objective())
+        }
+        (Err(we), Ok(c)) => {
+            panic!("seed {seed} step {step}: cold found {} but warm failed: {we}", c.objective())
+        }
+    };
+    let scale = 1.0 + cold.objective().abs();
+    assert!(
+        (warm.objective() - cold.objective()).abs() <= TOL * scale,
+        "seed {seed} step {step}: warm obj {} vs cold {} (restart {:?})",
+        warm.objective(),
+        cold.objective(),
+        s.session.last_restart(),
+    );
+    // Primal and dual agreement. Degenerate optima can have multiple optimal
+    // bases; compare objective-relevant quantities instead of raw vectors
+    // when they disagree: both must satisfy KKT, and the dual objectives
+    // must coincide. Start with direct comparison — on these dense random
+    // instances the optimum is almost always unique — and fall back to the
+    // KKT cross-check when vectors differ.
+    let primal_close = warm
+        .values()
+        .iter()
+        .zip(cold.values())
+        .all(|(a, b)| (a - b).abs() <= 1e-6 * (1.0 + b.abs()));
+    let dual_close =
+        warm.duals().iter().zip(cold.duals()).all(|(a, b)| (a - b).abs() <= 1e-6 * (1.0 + b.abs()));
+    if !(primal_close && dual_close) {
+        // Alternative optimum: each solution must independently certify.
+        let cold_violations = check_optimal(s.session.model(), &cold, TOL * 10.0);
+        assert!(
+            cold_violations.is_empty(),
+            "seed {seed} step {step}: cold solution fails KKT: {cold_violations:?}"
+        );
+    }
+    // Every warm result must carry a full KKT certificate regardless.
+    let violations = check_optimal(s.session.model(), &warm, TOL * 10.0);
+    assert!(
+        violations.is_empty(),
+        "seed {seed} step {step}: warm KKT violations (restart {:?}): {violations:?}",
+        s.session.last_restart(),
+    );
+    Some(warm)
+}
+
+#[test]
+fn warm_resolves_match_cold_across_random_mutations() {
+    let mut warm_seen = 0u32;
+    for seed in 0..40 {
+        let mut g = Gen::new(seed);
+        let mut s = schedule_shaped(&mut g);
+        // Initial cold solve to seat a basis.
+        let Some(mut last) = assert_warm_matches_cold(seed, 0, &mut s) else {
+            panic!("seed {seed}: base model must be feasible");
+        };
+        for step in 1..=6 {
+            mutate(&mut g, &mut s, &last);
+            if let Some(sol) = assert_warm_matches_cold(seed, step, &mut s) {
+                last = sol;
+                match s.session.last_restart() {
+                    Some(pretium_lp::Restart::WarmPrimal) | Some(pretium_lp::Restart::WarmDual) => {
+                        warm_seen += 1
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    // The warm path must actually be exercised, not fall back cold always.
+    assert!(warm_seen > 100, "only {warm_seen} warm restarts in 240 mutated solves");
+}
+
+#[test]
+fn rhs_sweep_stays_warm_and_correct() {
+    // A SAM-like sweep: the same capacity row tightens step by step.
+    let mut g = Gen::new(0xBEEF);
+    let mut s = schedule_shaped(&mut g);
+    s.session.solve(&SolveOptions::default()).unwrap();
+    let Some(&row) = s.cap_rows.first() else { return };
+    for step in 0..10 {
+        let rhs = 5.0 - 0.45 * step as f64;
+        s.session.set_rhs(row, rhs.max(0.1));
+        assert_warm_matches_cold(0xBEEF, step, &mut s);
+        assert_ne!(
+            s.session.last_restart(),
+            Some(pretium_lp::Restart::Cold),
+            "step {step} fell back to a cold solve"
+        );
+    }
+    assert_eq!(s.session.stats().cold_starts, 1);
+}
+
+#[test]
+fn growing_model_keeps_append_stable_basis() {
+    // Interleave appended variables and rows with bound fixes — the case
+    // where raw column indices shift and only append-stable keys survive.
+    let mut g = Gen::new(0xFACE);
+    let mut s = schedule_shaped(&mut g);
+    assert_warm_matches_cold(0xFACE, 0, &mut s);
+    for step in 0..8 {
+        // Alternate append-variable and append-row mutations.
+        if step % 2 == 0 {
+            let name = format!("g{step}");
+            let v = s.session.add_var(&name, 0.0, 2.0, 1.5);
+            s.vars.push(v);
+            let rname = format!("gr{step}");
+            s.session.add_row(&rname, 1.0 * v, Cmp::Le, 1.0);
+        } else {
+            let mut e = LinExpr::new();
+            for &v in s.vars.iter().step_by(2) {
+                e.add_term(1.0, v);
+            }
+            let rname = format!("gc{step}");
+            s.session.add_row(&rname, e, Cmp::Le, g.range(2.0, 8.0));
+        }
+        assert_warm_matches_cold(0xFACE, step + 1, &mut s);
+    }
+}

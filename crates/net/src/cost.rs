@@ -10,8 +10,6 @@
 //!   day). This is the non-convex cost the paper approximates with the
 //!   *sum-of-top-k* proxy (average usage over the top 10% of timesteps).
 
-use serde::{Deserialize, Serialize};
-
 /// The billing percentile used throughout the paper.
 pub const BILLING_PERCENTILE: f64 = 0.95;
 
@@ -19,7 +17,7 @@ pub const BILLING_PERCENTILE: f64 = 0.95;
 pub const TOP_FRACTION: f64 = 0.10;
 
 /// How the provider pays for a link.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum LinkCost {
     /// Privately owned; cost fixed at planning time, excluded from welfare.
     Owned,

@@ -8,15 +8,14 @@
 //! 95th-percentile usage, the rest have fixed installation costs).
 
 use crate::cost::LinkCost;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a datacenter / site.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
 
 /// Identifier of a directed WAN link.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EdgeId(pub u32);
 
 impl NodeId {
@@ -47,7 +46,7 @@ impl fmt::Display for EdgeId {
 
 /// Geographic region of a datacenter; used by the RegionOracle baseline and
 /// by topology generators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Region {
     NorthAmerica,
     Europe,
@@ -62,14 +61,14 @@ impl Region {
 }
 
 /// A datacenter or peering site.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Node {
     pub name: String,
     pub region: Region,
 }
 
 /// A directed WAN link.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Edge {
     pub from: NodeId,
     pub to: NodeId,
@@ -79,12 +78,11 @@ pub struct Edge {
 }
 
 /// The inter-datacenter WAN.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Network {
     nodes: Vec<Node>,
     edges: Vec<Edge>,
     /// Outgoing edges per node, rebuilt on mutation.
-    #[serde(skip)]
     out_adj: Vec<Vec<EdgeId>>,
 }
 
@@ -181,10 +179,7 @@ impl Network {
 
     /// Find the edge from `a` to `b`, if any.
     pub fn find_edge(&self, a: NodeId, b: NodeId) -> Option<EdgeId> {
-        self.out_adj[a.index()]
-            .iter()
-            .copied()
-            .find(|&e| self.edges[e.index()].to == b)
+        self.out_adj[a.index()].iter().copied().find(|&e| self.edges[e.index()].to == b)
     }
 
     /// Edges billed on 95th-percentile usage.
@@ -268,10 +263,12 @@ mod tests {
 
     #[test]
     fn rebuild_adjacency_roundtrip() {
+        // Simulates a deserialized network whose adjacency cache was not
+        // persisted: clearing and rebuilding must restore it.
         let (mut net, a, b) = two_nodes();
         net.add_duplex(a, b, 5.0, LinkCost::owned());
-        let json = serde_json::to_string(&net).unwrap();
-        let mut back: Network = serde_json::from_str(&json).unwrap();
+        let mut back = net.clone();
+        back.out_adj.clear();
         back.rebuild_adjacency();
         assert_eq!(back.out_edges(a).len(), 1);
         assert_eq!(back.out_edges(b).len(), 1);

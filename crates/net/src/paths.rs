@@ -23,11 +23,7 @@ impl Path {
     pub fn new(net: &Network, edges: Vec<EdgeId>) -> Self {
         assert!(!edges.is_empty(), "a path needs at least one edge");
         for w in edges.windows(2) {
-            assert_eq!(
-                net.edge(w[0]).to,
-                net.edge(w[1]).from,
-                "path edges are not contiguous"
-            );
+            assert_eq!(net.edge(w[0]).to, net.edge(w[1]).from, "path edges are not contiguous");
         }
         Path { edges }
     }
@@ -169,8 +165,7 @@ pub fn k_shortest_paths(
     let Some(first) = shortest_path(net, src, dst, weight) else {
         return Vec::new();
     };
-    let path_cost =
-        |edges: &[EdgeId]| -> f64 { edges.iter().map(|&e| weight(e)).sum() };
+    let path_cost = |edges: &[EdgeId]| -> f64 { edges.iter().map(|&e| weight(e)).sum() };
     let mut found: Vec<Vec<EdgeId>> = vec![first];
     // Candidate pool: (cost, path); keep sorted by cost on extraction.
     let mut candidates: Vec<(f64, Vec<EdgeId>)> = Vec::new();
@@ -181,8 +176,7 @@ pub fn k_shortest_paths(
         // Spur from every node of the previous path.
         for i in 0..last.len() {
             let root = &last[..i];
-            let spur_node =
-                if i == 0 { src } else { net.edge(last[i - 1]).to };
+            let spur_node = if i == 0 { src } else { net.edge(last[i - 1]).to };
             let mut banned_edges = HashSet::new();
             // Ban the next edge of every found path sharing this root.
             for p in &found {

@@ -56,11 +56,7 @@ pub fn cdf_points(samples: &[f64]) -> Vec<(f64, f64)> {
     let mut sorted: Vec<f64> = samples.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
     let n = sorted.len();
-    sorted
-        .into_iter()
-        .enumerate()
-        .map(|(i, v)| (v, (i + 1) as f64 / n as f64))
-        .collect()
+    sorted.into_iter().enumerate().map(|(i, v)| (v, (i + 1) as f64 / n as f64)).collect()
 }
 
 /// Pearson correlation coefficient between two equal-length series (used to

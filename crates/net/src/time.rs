@@ -4,13 +4,11 @@
 //! 5-minute steps, §3.1) grouped into *windows* (e.g. one day) that bound
 //! both percentile billing and price recomputation (§4.3).
 
-use serde::{Deserialize, Serialize};
-
 /// A discrete timestep index from the start of the simulation.
 pub type Timestep = usize;
 
 /// The discretization of time used by every module.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TimeGrid {
     /// Timesteps per billing/pricing window (`W` in the paper).
     pub steps_per_window: usize,

@@ -12,10 +12,9 @@ use crate::cost::LinkCost;
 use crate::graph::{Network, NodeId, Region};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Parameters for [`region_wan`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TopologyConfig {
     /// Datacenters per region (one entry per region used).
     pub nodes_per_region: Vec<usize>,
@@ -70,9 +69,8 @@ pub fn region_wan(cfg: &TopologyConfig) -> Network {
     for (r, &count) in cfg.nodes_per_region.iter().enumerate() {
         assert!(count >= 1, "each region needs at least one node");
         let region = Region::ALL[r];
-        let ids: Vec<NodeId> = (0..count)
-            .map(|i| net.add_node(&format!("{region:?}-{i}"), region))
-            .collect();
+        let ids: Vec<NodeId> =
+            (0..count).map(|i| net.add_node(&format!("{region:?}-{i}"), region)).collect();
         // Ring for connectivity (when more than one node).
         if count > 1 {
             for i in 0..count {
@@ -132,8 +130,7 @@ pub fn region_wan(cfg: &TopologyConfig) -> Network {
             break;
         }
         if !net.edge(e).cost.is_percentile() {
-            net.edge_mut(e).cost =
-                LinkCost::percentile(jitter(&mut rng, cfg.percentile_unit_cost));
+            net.edge_mut(e).cost = LinkCost::percentile(jitter(&mut rng, cfg.percentile_unit_cost));
             marked += 1;
         }
     }
@@ -198,8 +195,11 @@ pub fn strongly_connected(net: &Network) -> bool {
         let mut count = 1;
         while let Some(u) = stack.pop() {
             for (_, e) in net.edges() {
-                let (from, to) =
-                    if reverse { (e.to.index(), e.from.index()) } else { (e.from.index(), e.to.index()) };
+                let (from, to) = if reverse {
+                    (e.to.index(), e.from.index())
+                } else {
+                    (e.from.index(), e.to.index())
+                };
                 if from == u && !seen[to] {
                     seen[to] = true;
                     count += 1;
@@ -235,10 +235,7 @@ mod tests {
         let net = production_like(1);
         assert_eq!(net.num_nodes(), 106);
         let duplex = net.num_edges() / 2;
-        assert!(
-            (190..=260).contains(&duplex),
-            "expected ≈226 duplex links, got {duplex}"
-        );
+        assert!((190..=260).contains(&duplex), "expected ≈226 duplex links, got {duplex}");
         assert!(strongly_connected(&net));
     }
 
@@ -257,11 +254,8 @@ mod tests {
     fn different_seeds_differ() {
         let a = default_eval(1);
         let b = default_eval(2);
-        let same = a
-            .edges()
-            .zip(b.edges())
-            .take_while(|(x, y)| x.1.capacity == y.1.capacity)
-            .count();
+        let same =
+            a.edges().zip(b.edges()).take_while(|(x, y)| x.1.capacity == y.1.capacity).count();
         assert!(same < a.num_edges().min(b.num_edges()));
     }
 
@@ -278,10 +272,7 @@ mod tests {
 
     #[test]
     fn single_region_singleton_node() {
-        let cfg = TopologyConfig {
-            nodes_per_region: vec![1],
-            ..TopologyConfig::default()
-        };
+        let cfg = TopologyConfig { nodes_per_region: vec![1], ..TopologyConfig::default() };
         let net = region_wan(&cfg);
         assert_eq!(net.num_nodes(), 1);
         assert_eq!(net.num_edges(), 0);

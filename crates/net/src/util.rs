@@ -111,19 +111,13 @@ impl UsageTracker {
 
     /// Figure 10: per-edge 90th-percentile utilization.
     pub fn p90_utilizations(&self, net: &Network) -> Vec<f64> {
-        net.edge_ids()
-            .map(|e| percentile::percentile(&self.utilization(net, e), 0.90))
-            .collect()
+        net.edge_ids().map(|e| percentile::percentile(&self.utilization(net, e), 0.90)).collect()
     }
 
     /// Peak (maximum) utilization per edge.
     pub fn peak_utilizations(&self, net: &Network) -> Vec<f64> {
         net.edge_ids()
-            .map(|e| {
-                self.utilization(net, e)
-                    .into_iter()
-                    .fold(0.0f64, f64::max)
-            })
+            .map(|e| self.utilization(net, e).into_iter().fold(0.0f64, f64::max))
             .collect()
     }
 

@@ -11,7 +11,9 @@
 //! reported numbers.
 
 use pretium_sim::experiments::{self, ModuleRuntimes, LOAD_FACTORS};
-use pretium_sim::{analyze_deviations, render_figure, render_table, Deviation, ScenarioConfig, Series};
+use pretium_sim::{
+    analyze_deviations, render_figure, render_table, Deviation, ScenarioConfig, Series,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,10 +23,7 @@ fn main() {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--seed" => {
-                seed = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .expect("--seed needs an integer");
+                seed = it.next().and_then(|s| s.parse().ok()).expect("--seed needs an integer");
             }
             other => wanted.push(other.to_string()),
         }
@@ -70,25 +69,41 @@ fn main() {
         let (prices, util) = experiments::fig7a_price_and_utilization(seed).unwrap();
         let series = vec![
             Series::new("price", prices.iter().enumerate().map(|(t, &p)| (t as f64, p)).collect()),
-            Series::new("utilization", util.iter().enumerate().map(|(t, &u)| (t as f64, u)).collect()),
+            Series::new(
+                "utilization",
+                util.iter().enumerate().map(|(t, &u)| (t as f64, u)).collect(),
+            ),
         ];
         println!(
             "{}",
-            render_figure("Figure 7a: price & utilization over time (busiest pct link)", "t", &series)
+            render_figure(
+                "Figure 7a: price & utilization over time (busiest pct link)",
+                "t",
+                &series
+            )
         );
     }
     if want("fig7") || want("fig7b") {
         let (_, series) = experiments::fig7b_value_buckets(seed).unwrap();
         println!(
             "{}",
-            render_figure("Figure 7b: value captured per value bucket (rel. OPT)", "bucket<=", &series)
+            render_figure(
+                "Figure 7b: value captured per value bucket (rel. OPT)",
+                "bucket<=",
+                &series
+            )
         );
     }
     if want("fig7") || want("fig7c") {
         let pts = experiments::fig7c_price_vs_value(seed).unwrap();
         println!(
             "{}",
-            pretium_sim::render_ascii_plot("Figure 7c: admission price vs request value", &pts, 60, 14)
+            pretium_sim::render_ascii_plot(
+                "Figure 7c: admission price vs request value",
+                &pts,
+                60,
+                14
+            )
         );
     }
     if want("fig8") {
@@ -112,7 +127,10 @@ fn main() {
     }
     if want("fig12") {
         let series = experiments::fig12_link_cost(seed, &[1.0, 1.4, 1.8, 2.2]).unwrap();
-        println!("{}", render_figure("Figure 12: welfare vs mean link cost (load 1)", "cost scale", &series));
+        println!(
+            "{}",
+            render_figure("Figure 12: welfare vs mean link cost (load 1)", "cost scale", &series)
+        );
     }
     if want("fig13") || want("fig14") {
         let rows = experiments::fig13_14_value_distributions(seed, &[1.0, 2.0, 4.0]).unwrap();
@@ -128,7 +146,10 @@ fn main() {
                 )
             })
             .collect();
-        println!("{}", render_table("Figures 13/14: value-distribution sensitivity (rel. OPT)", &table));
+        println!(
+            "{}",
+            render_table("Figures 13/14: value-distribution sensitivity (rel. OPT)", &table)
+        );
     }
     if want("table4") {
         let rt = experiments::table4_runtimes(seed, 2.0).unwrap();

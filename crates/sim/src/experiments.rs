@@ -10,7 +10,7 @@ use crate::report::Series;
 use crate::runner::{run_pretium, PretiumRun, Variant};
 use crate::scenario::{Scenario, ScenarioConfig};
 use pretium_baselines as baselines;
-use pretium_baselines::{Outcome, OfflineConfig, PricedOfflineConfig};
+use pretium_baselines::{OfflineConfig, Outcome, PricedOfflineConfig};
 use pretium_core::PretiumConfig;
 use pretium_lp::SolveError;
 use pretium_net::percentile::{cdf_points, linear_fit, pearson, percentile, top_fraction_mean};
@@ -149,10 +149,16 @@ pub fn compare_schemes(config: &ScenarioConfig) -> Result<Comparison, SolveError
     let scenario = config.build();
     let off = OfflineConfig::default();
     let priced = PricedOfflineConfig::default();
-    let opt = baselines::opt(&scenario.net, &scenario.grid, scenario.horizon, &scenario.requests, &off)?;
+    let opt =
+        baselines::opt(&scenario.net, &scenario.grid, scenario.horizon, &scenario.requests, &off)?;
     let pretium = run_pretium(&scenario, PretiumConfig::default(), Variant::Full)?;
-    let no_prices =
-        baselines::no_prices(&scenario.net, &scenario.grid, scenario.horizon, &scenario.requests, &off)?;
+    let no_prices = baselines::no_prices(
+        &scenario.net,
+        &scenario.grid,
+        scenario.horizon,
+        &scenario.requests,
+        &off,
+    )?;
     let region = baselines::region_oracle(
         &scenario.net,
         &scenario.grid,
@@ -169,8 +175,13 @@ pub fn compare_schemes(config: &ScenarioConfig) -> Result<Comparison, SolveError
         &peaks,
         &priced,
     )?;
-    let vcg =
-        baselines::vcg_like(&scenario.net, &scenario.grid, scenario.horizon, &scenario.requests, &priced)?;
+    let vcg = baselines::vcg_like(
+        &scenario.net,
+        &scenario.grid,
+        scenario.horizon,
+        &scenario.requests,
+        &priced,
+    )?;
     Ok(Comparison { scenario, opt, pretium, no_prices, region, peak, vcg })
 }
 
@@ -259,12 +270,7 @@ pub fn fig7a_price_and_utilization(seed: u64) -> Result<(Vec<f64>, Vec<f64>), So
 /// OPT's capture in the same bucket.
 pub fn fig7b_value_buckets(seed: u64) -> Result<(Vec<f64>, Vec<Series>), SolveError> {
     let cmp = compare_schemes(&ScenarioConfig::evaluation(seed, 2.0))?;
-    let max_v = cmp
-        .scenario
-        .requests
-        .iter()
-        .map(|r| r.value)
-        .fold(0.0f64, f64::max);
+    let max_v = cmp.scenario.requests.iter().map(|r| r.value).fold(0.0f64, f64::max);
     let edges: Vec<f64> = (1..=10).map(|i| max_v * i as f64 / 10.0).collect();
     let opt_buckets = cmp.opt.value_by_bucket(&cmp.scenario.requests, &edges);
     let mut series = Vec::new();
@@ -313,11 +319,8 @@ pub fn fig10_p90_utilization_cdf(seed: u64) -> Result<Vec<Series>, SolveError> {
         // columns are directly comparable (lower is better: the paper's
         // claim is that Pretium cuts the median link's p90 by ~30%).
         let n = p90.len();
-        let points = p90
-            .into_iter()
-            .enumerate()
-            .map(|(i, v)| ((i + 1) as f64 / n as f64, v))
-            .collect();
+        let points =
+            p90.into_iter().enumerate().map(|(i, v)| ((i + 1) as f64 / n as f64, v)).collect();
         series.push(Series::new(name, points));
     }
     Ok(series)
@@ -333,13 +336,18 @@ pub fn fig11_ablations(seed: u64, loads: &[f64]) -> Result<Vec<Series>, SolveErr
         let config = ScenarioConfig::evaluation(seed, load);
         let scenario = config.build();
         let off = OfflineConfig::default();
-        let opt =
-            baselines::opt(&scenario.net, &scenario.grid, scenario.horizon, &scenario.requests, &off)?;
+        let opt = baselines::opt(
+            &scenario.net,
+            &scenario.grid,
+            scenario.horizon,
+            &scenario.requests,
+            &off,
+        )?;
         let opt_w = opt.welfare(&scenario.requests, &scenario.net, &scenario.grid, 1.0);
         for variant in [Variant::Full, Variant::NoMenu, Variant::NoSam] {
             let run = run_pretium(&scenario, PretiumConfig::default(), variant)?;
-            let w = run.outcome.welfare(&scenario.requests, &scenario.net, &scenario.grid, 1.0)
-                / opt_w;
+            let w =
+                run.outcome.welfare(&scenario.requests, &scenario.net, &scenario.grid, 1.0) / opt_w;
             match series.iter_mut().find(|s| s.name == variant.label()) {
                 Some(s) => s.points.push((load, w)),
                 None => series.push(Series::new(variant.label(), vec![(load, w)])),
@@ -360,8 +368,13 @@ pub fn fig12_link_cost(seed: u64, cost_scales: &[f64]) -> Result<Vec<Series>, So
         let scenario = ScenarioConfig::evaluation(seed, 1.0).build();
         let off = OfflineConfig { cost_scale: scale, ..Default::default() };
         let priced = PricedOfflineConfig { cost_scale: scale, ..Default::default() };
-        let opt =
-            baselines::opt(&scenario.net, &scenario.grid, scenario.horizon, &scenario.requests, &off)?;
+        let opt = baselines::opt(
+            &scenario.net,
+            &scenario.grid,
+            scenario.horizon,
+            &scenario.requests,
+            &off,
+        )?;
         let opt_w = opt.welfare(&scenario.requests, &scenario.net, &scenario.grid, scale);
         let pcfg = PretiumConfig { cost_scale: scale, ..Default::default() };
         let run = run_pretium(&scenario, pcfg, Variant::Full)?;
@@ -438,14 +451,18 @@ pub fn fig13_14_value_distributions(
             rows.push(ValueDistRow {
                 distribution: dist_name.to_string(),
                 mean_over_std: ratio,
-                pretium_welfare: run
-                    .outcome
-                    .welfare(&scenario.requests, &scenario.net, &scenario.grid, 1.0)
-                    / opt_w,
-                region_welfare: region
-                    .outcome
-                    .welfare(&scenario.requests, &scenario.net, &scenario.grid, 1.0)
-                    / opt_w,
+                pretium_welfare: run.outcome.welfare(
+                    &scenario.requests,
+                    &scenario.net,
+                    &scenario.grid,
+                    1.0,
+                ) / opt_w,
+                region_welfare: region.outcome.welfare(
+                    &scenario.requests,
+                    &scenario.net,
+                    &scenario.grid,
+                    1.0,
+                ) / opt_w,
                 profit_ratio: run.outcome.profit(&scenario.net, &scenario.grid, 1.0)
                     / region_profit,
             });

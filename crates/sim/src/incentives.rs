@@ -108,11 +108,9 @@ fn utility(
     let mut util = 0.0;
     for &i in indices {
         let within: f64 = match contract_of_request[i] {
-            Some(ci) => delivery_log[ci]
-                .iter()
-                .filter(|&&(t, _)| t <= true_deadline)
-                .map(|&(_, d)| d)
-                .sum(),
+            Some(ci) => {
+                delivery_log[ci].iter().filter(|&&(t, _)| t <= true_deadline).map(|&(_, d)| d).sum()
+            }
             None => 0.0,
         };
         util += true_value * within - outcome.payments[i];
@@ -132,15 +130,11 @@ pub fn analyze_deviations(
     let base = run_pretium(scenario, cfg.clone(), Variant::Full)?;
     let truthful_requests = &scenario.requests;
     // Sampled users: admitted requests, in arrival order.
-    let sampled: Vec<usize> = (0..truthful_requests.len())
-        .filter(|&i| base.outcome.admitted[i])
-        .take(sample)
-        .collect();
+    let sampled: Vec<usize> =
+        (0..truthful_requests.len()).filter(|&i| base.outcome.admitted[i]).take(sample).collect();
 
-    let mut per_dev: Vec<(String, usize, usize, f64)> = deviations
-        .iter()
-        .map(|d| (d.label(), 0usize, 0usize, 0.0f64))
-        .collect();
+    let mut per_dev: Vec<(String, usize, usize, f64)> =
+        deviations.iter().map(|d| (d.label(), 0usize, 0usize, 0.0f64)).collect();
     let mut gainers = 0usize;
     let mut gains: Vec<f64> = Vec::new();
     let mut simulated = 0usize;
@@ -208,7 +202,8 @@ pub fn analyze_deviations(
             d.3 /= d.2 as f64;
         }
     }
-    let avg_gain = if gains.is_empty() { 0.0 } else { gains.iter().sum::<f64>() / gains.len() as f64 };
+    let avg_gain =
+        if gains.is_empty() { 0.0 } else { gains.iter().sum::<f64>() / gains.len() as f64 };
     let max_gain = gains.iter().cloned().fold(0.0, f64::max);
     Ok(DeviationReport {
         sampled: sampled.len(),

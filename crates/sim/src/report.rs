@@ -26,10 +26,8 @@ pub fn render_figure(title: &str, x_label: &str, series: &[Series]) -> String {
         let _ = write!(out, " {:>14}", truncate(&s.name, 14));
     }
     let _ = writeln!(out);
-    let xs: Vec<f64> = series
-        .first()
-        .map(|s| s.points.iter().map(|p| p.0).collect())
-        .unwrap_or_default();
+    let xs: Vec<f64> =
+        series.first().map(|s| s.points.iter().map(|p| p.0).collect()).unwrap_or_default();
     for (i, x) in xs.iter().enumerate() {
         let _ = write!(out, "{x:>12.3}");
         for s in series {
@@ -59,18 +57,21 @@ pub fn render_table(title: &str, rows: &[(String, String)]) -> String {
 }
 
 /// Render an ASCII sparkline-style CDF/series plot (terminal friendly).
-pub fn render_ascii_plot(title: &str, points: &[(f64, f64)], width: usize, height: usize) -> String {
+pub fn render_ascii_plot(
+    title: &str,
+    points: &[(f64, f64)],
+    width: usize,
+    height: usize,
+) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{title}");
     if points.is_empty() || width == 0 || height == 0 {
         return out;
     }
-    let (xmin, xmax) = points
-        .iter()
-        .fold((f64::MAX, f64::MIN), |(lo, hi), &(x, _)| (lo.min(x), hi.max(x)));
-    let (ymin, ymax) = points
-        .iter()
-        .fold((f64::MAX, f64::MIN), |(lo, hi), &(_, y)| (lo.min(y), hi.max(y)));
+    let (xmin, xmax) =
+        points.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &(x, _)| (lo.min(x), hi.max(x)));
+    let (ymin, ymax) =
+        points.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &(_, y)| (lo.min(y), hi.max(y)));
     let xspan = (xmax - xmin).max(1e-12);
     let yspan = (ymax - ymin).max(1e-12);
     let mut grid = vec![vec![b' '; width]; height];

@@ -6,7 +6,7 @@
 use crate::scenario::Scenario;
 use pretium_baselines::Outcome;
 use pretium_core::{Pretium, PretiumConfig, RequestParams};
-use pretium_lp::SolveError;
+use pretium_lp::{SessionStats, SolveError};
 use pretium_net::UsageTracker;
 
 /// Which user-response / module configuration to run (Figure 11 ablations).
@@ -43,6 +43,9 @@ pub struct PretiumRun {
     pub delivery_log: Vec<Vec<(usize, f64)>>,
     /// Request index -> contract index (None when not admitted).
     pub contract_of_request: Vec<Option<usize>>,
+    /// LP restart counters over the whole run (SAM sessions + PC solves):
+    /// how many solves there were and how many reused a previous basis.
+    pub lp_stats: SessionStats,
 }
 
 /// Replay `scenario` through Pretium, warm-starting prices with one
@@ -64,11 +67,7 @@ pub fn run_pretium(
     let pattern: Vec<Vec<f64>> = scenario
         .net
         .edge_ids()
-        .map(|e| {
-            (0..w)
-                .map(|s| warm.system.state().price(e, last_window_start + s))
-                .collect()
-        })
+        .map(|e| (0..w).map(|s| warm.system.state().price(e, last_window_start + s)).collect())
         .collect();
     run_pretium_cold(scenario, cfg, variant, Some(&pattern))
 }
@@ -145,7 +144,8 @@ pub fn run_pretium_cold(
     }
     outcome.usage = usage;
     delivery_log.resize(system.contracts().len(), Vec::new());
-    Ok(PretiumRun { outcome, system, delivery_log, contract_of_request })
+    let lp_stats = system.lp_stats();
+    Ok(PretiumRun { outcome, system, delivery_log, contract_of_request, lp_stats })
 }
 
 #[cfg(test)]
@@ -189,10 +189,8 @@ mod tests {
     fn payments_never_exceed_value_for_rational_users() {
         let sc = small();
         let run = run_pretium(&sc, PretiumConfig::default(), Variant::Full).unwrap();
-        for (r, (&paid, &delivered)) in sc
-            .requests
-            .iter()
-            .zip(run.outcome.payments.iter().zip(&run.outcome.delivered))
+        for (r, (&paid, &delivered)) in
+            sc.requests.iter().zip(run.outcome.payments.iter().zip(&run.outcome.delivered))
         {
             // Theorem 5.2 users never pay a marginal price above value, so
             // total payment <= value × purchased; delivered >= guaranteed
@@ -218,6 +216,17 @@ mod tests {
         // theorem under different system paths, but holds on this seed and
         // documents the intended direction).
         assert!(n_nomenu <= n_full, "NoMenu admitted {n_nomenu} > Full {n_full}");
+    }
+
+    #[test]
+    fn sam_loop_mostly_warm_starts() {
+        let sc = small();
+        let run = run_pretium(&sc, PretiumConfig::default(), Variant::Full).unwrap();
+        let s = run.lp_stats;
+        assert!(s.solves > 0, "{s:?}");
+        // SAM re-solves every timestep off a carried session; the bulk of
+        // the run's LP solves must reuse a basis rather than start cold.
+        assert!(s.warm_primal + s.warm_dual > s.cold_starts, "warm starts did not dominate: {s:?}");
     }
 
     #[test]

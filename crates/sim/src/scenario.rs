@@ -2,8 +2,9 @@
 //! from one seeded configuration so every scheme replays the *same* world.
 
 use pretium_net::{topology, Network, TimeGrid};
-use pretium_workload::{generate_requests, generate_trace, Request, RequestConfig, TrafficConfig, TrafficTrace};
-use serde::{Deserialize, Serialize};
+use pretium_workload::{
+    generate_requests, generate_trace, Request, RequestConfig, TrafficConfig, TrafficTrace,
+};
 
 /// Everything needed to run one experiment.
 #[derive(Debug, Clone)]
@@ -16,7 +17,7 @@ pub struct Scenario {
 }
 
 /// Seeded generator configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ScenarioConfig {
     pub topology: topology::TopologyConfig,
     /// Steps per window (billing + pricing window; a "day").

@@ -10,10 +10,9 @@ use crate::values::ValueDist;
 use pretium_net::{NodeId, TimeGrid, Timestep};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a request, dense from 0 in arrival order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RequestId(pub u32);
 
 impl RequestId {
@@ -25,7 +24,7 @@ impl RequestId {
 
 /// Byte transfer vs constant-rate lease (§4.4: rate requests are handled
 /// as one byte request per timestep of the lease).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum RequestKind {
     /// Move `demand` units any time within the window.
     Byte,
@@ -35,7 +34,7 @@ pub enum RequestKind {
 }
 
 /// One customer transfer request.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Request {
     pub id: RequestId,
     pub src: NodeId,
@@ -78,7 +77,7 @@ impl Request {
 }
 
 /// Parameters mapping a traffic trace to discrete requests.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RequestConfig {
     /// Mean number of requests a pair's per-window volume is split into.
     pub requests_per_pair_window: f64,
@@ -224,7 +223,8 @@ mod tests {
     fn requests_with(cfg: RequestConfig) -> (TrafficTrace, Vec<Request>, TimeGrid) {
         let net = topology::default_eval(3);
         let grid = TimeGrid::coarse_default();
-        let trace = generate_trace(&net, &grid, &TrafficConfig { horizon: 96, ..Default::default() });
+        let trace =
+            generate_trace(&net, &grid, &TrafficConfig { horizon: 96, ..Default::default() });
         let reqs = generate_requests(&trace, &grid, &cfg);
         (trace, reqs, grid)
     }
@@ -263,16 +263,10 @@ mod tests {
 
     #[test]
     fn tight_fraction_shapes_window_lengths() {
-        let tight = RequestConfig {
-            tight_fraction: 1.0,
-            laxity_tight: (1.0, 1.0),
-            ..Default::default()
-        };
-        let loose = RequestConfig {
-            tight_fraction: 0.0,
-            laxity_loose: (6.0, 6.0),
-            ..Default::default()
-        };
+        let tight =
+            RequestConfig { tight_fraction: 1.0, laxity_tight: (1.0, 1.0), ..Default::default() };
+        let loose =
+            RequestConfig { tight_fraction: 0.0, laxity_loose: (6.0, 6.0), ..Default::default() };
         let (_, rt, _) = requests_with(tight);
         let (_, rl, _) = requests_with(loose);
         let mean_t: f64 = rt.iter().map(|r| r.window_len() as f64).sum::<f64>() / rt.len() as f64;

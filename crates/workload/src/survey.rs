@@ -27,11 +27,8 @@ pub mod table1 {
 /// (as of 2016-01-25; normalized to $/GB).
 pub mod table2 {
     /// `(provider, intra-continent $/GB, inter-continent $/GB)`.
-    pub const PRICE_SHEET: [(&str, f64, f64); 3] = [
-        ("ProviderA", 0.02, 0.08),
-        ("ProviderB", 0.01, 0.12),
-        ("ProviderC", 0.02, 0.14),
-    ];
+    pub const PRICE_SHEET: [(&str, f64, f64); 3] =
+        [("ProviderA", 0.02, 0.08), ("ProviderB", 0.01, 0.12), ("ProviderC", 0.02, 0.14)];
 
     /// Typical intra-region transfer price used to scale synthetic values.
     pub const INTRA_REGION_PER_GB: f64 = 0.02;

@@ -17,12 +17,11 @@
 use pretium_net::{Network, NodeId, TimeGrid, Timestep};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 use crate::values::lognormal;
 
 /// Parameters of the synthetic trace generator.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TrafficConfig {
     /// Number of timesteps to generate.
     pub horizon: usize,
@@ -64,7 +63,7 @@ impl Default for TrafficConfig {
 }
 
 /// A demand time series for one (src, dst) pair.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PairSeries {
     pub src: NodeId,
     pub dst: NodeId,
@@ -79,7 +78,7 @@ impl PairSeries {
 }
 
 /// The full synthetic trace: one series per active pair.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TrafficTrace {
     pub horizon: usize,
     pub pairs: Vec<PairSeries>,
@@ -136,11 +135,10 @@ pub fn generate_trace(net: &Network, grid: &TimeGrid, cfg: &TrafficConfig) -> Tr
             let mut crowd = vec![1.0f64; cfg.horizon];
             for w in 0..windows {
                 if rng.gen_bool((cfg.flash_crowd_rate).clamp(0.0, 1.0)) {
-                    let start = grid.window_start(w)
-                        + rng.gen_range(0..grid.steps_per_window.max(1));
-                    for t in start..(start + cfg.flash_crowd_duration).min(cfg.horizon) {
-                        crowd[t] = cfg.flash_crowd_magnitude;
-                    }
+                    let start =
+                        grid.window_start(w) + rng.gen_range(0..grid.steps_per_window.max(1));
+                    let end = (start + cfg.flash_crowd_duration).min(cfg.horizon);
+                    crowd[start..end].fill(cfg.flash_crowd_magnitude);
                 }
             }
             let demand: Vec<f64> = (0..cfg.horizon)
@@ -265,9 +263,6 @@ mod tests {
         let trace = generate_trace(&net, &grid, &cfg);
         let per_pair_step = trace.total() / (trace.pairs.len() * cfg.horizon) as f64;
         // Lognormal heterogeneity across ~60 pairs: loose bounds.
-        assert!(
-            per_pair_step > 1.0 && per_pair_step < 9.0,
-            "per-pair-step {per_pair_step}"
-        );
+        assert!(per_pair_step > 1.0 && per_pair_step < 9.0, "per-pair-step {per_pair_step}");
     }
 }

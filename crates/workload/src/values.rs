@@ -5,10 +5,9 @@
 //! with varying mean-to-standard-deviation ratios (§6.1, Figures 13-14).
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A distribution over non-negative per-unit values.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ValueDist {
     /// Every draw returns the same value.
     Fixed(f64),

@@ -89,8 +89,5 @@ fn main() {
     let leaked: f64 = (4..horizon).map(|t| usage.at(busiest, t)).sum();
     println!("volume on failed link after t=4: {leaked:.3}");
     assert!(leaked < 1e-9, "SAM must not schedule over a dead link");
-    assert!(
-        usage.capacity_violations(&net, 1e-5).is_empty(),
-        "no capacity violations allowed"
-    );
+    assert!(usage.capacity_violations(&net, 1e-5).is_empty(), "no capacity violations allowed");
 }

@@ -34,10 +34,7 @@ fn main() {
         report.sampled,
         100.0 * report.gainer_fraction()
     );
-    println!(
-        "avg gain when gaining  : {:.1}%            [paper: <6%]",
-        100.0 * report.avg_gain
-    );
+    println!("avg gain when gaining  : {:.1}%            [paper: <6%]", 100.0 * report.avg_gain);
     println!("max gain observed      : {:.1}%", 100.0 * report.max_gain);
     println!("\nper deviation:");
     for (label, attempts, gainers, mean_gain) in &report.per_deviation {

@@ -38,7 +38,9 @@ fn main() {
         system.set_price(e, 1, 1.5);
     }
 
-    for (label, deadline) in [("time interval [1,2] (two steps)", 1usize), ("time interval [1,1] (one step)", 0)] {
+    for (label, deadline) in
+        [("time interval [1,2] (two steps)", 1usize), ("time interval [1,1] (one step)", 0)]
+    {
         let params = RequestParams {
             id: RequestId(0),
             src: NodeId(0),
@@ -54,7 +56,10 @@ fn main() {
         let mut cum = 0.0;
         for (price, units) in menu.price_levels() {
             cum += units;
-            println!("  {units:>4.1} units at {price:>5.2}/unit   (p({cum:.0}) = {:.2})", menu.price(cum));
+            println!(
+                "  {units:>4.1} units at {price:>5.2}/unit   (p({cum:.0}) = {:.2})",
+                menu.price(cum)
+            );
         }
         println!("  beyond x̄: best-effort at {:.2}/unit\n", menu.marginal_at_bound());
     }

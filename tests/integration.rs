@@ -28,7 +28,8 @@ fn all_schemes_run_and_respect_capacity() {
             .unwrap()
             .outcome,
     );
-    outcomes.push(baselines::vcg_like(&sc.net, &sc.grid, sc.horizon, &sc.requests, &priced).unwrap());
+    outcomes
+        .push(baselines::vcg_like(&sc.net, &sc.grid, sc.horizon, &sc.requests, &priced).unwrap());
     outcomes.push(run_pretium(&sc, PretiumConfig::default(), Variant::Full).unwrap().outcome);
     for o in &outcomes {
         let violations = o.usage.capacity_violations(&sc.net, 1e-4);
@@ -62,10 +63,7 @@ fn opt_dominates_every_scheme_in_proxy_terms() {
         w(&baselines::vcg_like(&sc.net, &sc.grid, sc.horizon, &sc.requests, &priced).unwrap()),
     ];
     for (i, &ow) in others.iter().enumerate() {
-        assert!(
-            ow <= opt_w * 1.02 + 1.0,
-            "scheme {i} beat OPT: {ow} > {opt_w}"
-        );
+        assert!(ow <= opt_w * 1.02 + 1.0, "scheme {i} beat OPT: {ow} > {opt_w}");
     }
 }
 
@@ -81,10 +79,7 @@ fn pretium_profit_exceeds_vcg_profit() {
     let vcg = baselines::vcg_like(&sc.net, &sc.grid, sc.horizon, &sc.requests, &priced).unwrap();
     let p_profit = pretium.outcome.profit(&sc.net, &sc.grid, 1.0);
     let v_profit = vcg.profit(&sc.net, &sc.grid, 1.0);
-    assert!(
-        p_profit > v_profit,
-        "Pretium profit {p_profit} should exceed VCGLike {v_profit}"
-    );
+    assert!(p_profit > v_profit, "Pretium profit {p_profit} should exceed VCGLike {v_profit}");
 }
 
 #[test]
@@ -100,8 +95,7 @@ fn guarantees_hold_under_injected_faults() {
     use pretium::core::{Pretium, RequestParams};
     use pretium::net::UsageTracker;
     let sc = tiny(25);
-    let mut system =
-        Pretium::new(sc.net.clone(), sc.grid, sc.horizon, PretiumConfig::default());
+    let mut system = Pretium::new(sc.net.clone(), sc.grid, sc.horizon, PretiumConfig::default());
     let mut usage = UsageTracker::new(sc.net.num_edges(), sc.horizon);
     let mut admitted = Vec::new();
     let mut next = 0;
@@ -125,10 +119,7 @@ fn guarantees_hold_under_injected_faults() {
     }
     // The vast majority of guarantees must survive a single link failure
     // (SAM reroutes; only transfers with no alternative path can miss).
-    let met = admitted
-        .iter()
-        .filter(|&&id| system.contract(id).guarantee_met())
-        .count();
+    let met = admitted.iter().filter(|&&id| system.contract(id).guarantee_met()).count();
     assert!(
         met * 10 >= admitted.len() * 9,
         "only {met}/{} guarantees met after fault",
@@ -150,15 +141,7 @@ fn lp_and_scheduling_agree_on_simple_instance() {
     let b = net.add_node("B", Region::NorthAmerica);
     let e = net.add_edge(a, b, 7.0, LinkCost::owned());
     let grid = TimeGrid::new(4, 30);
-    let jobs = vec![Job::new(
-        0,
-        vec![Path::new(&net, vec![e])],
-        0,
-        2,
-        2.0,
-        0.0,
-        30.0,
-    )];
+    let jobs = vec![Job::new(0, vec![Path::new(&net, vec![e])], 0, 2, 2.0, 0.0, 30.0)];
     let cap = |_e: pretium::net::EdgeId, _t: usize| 7.0;
     let zero = |_e: pretium::net::EdgeId, _t: usize| 0.0;
     let problem = ScheduleProblem {
