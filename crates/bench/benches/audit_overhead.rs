@@ -1,0 +1,37 @@
+//! Overhead of the invariant auditor: the same cold-start Pretium replay
+//! with auditing off (release default) vs. on (`PretiumConfig::audit`).
+//! The delta between the two rows is the full cost of sweeping every
+//! accept/SAM/PC/execute checkpoint, quoted in EXPERIMENTS.md.
+
+use pretium_bench::{black_box, Harness};
+use pretium_core::PretiumConfig;
+use pretium_sim::runner::{run_pretium_cold, Variant};
+use pretium_sim::scenario::ScenarioConfig;
+
+fn main() {
+    let scenario = ScenarioConfig::tiny(7).build();
+    let mut h = Harness::new().sample_size(10);
+
+    h.bench_function("replay_audit_off", |b| {
+        b.iter(|| {
+            let cfg = PretiumConfig::default();
+            let run = run_pretium_cold(&scenario, cfg, Variant::Full, None).unwrap();
+            black_box(run.outcome.delivered.iter().sum::<f64>())
+        });
+    });
+
+    h.bench_function("replay_audit_on", |b| {
+        b.iter(|| {
+            let cfg = PretiumConfig { audit: true, ..Default::default() };
+            let run = run_pretium_cold(&scenario, cfg, Variant::Full, None).unwrap();
+            assert!(run.audit().expect("audit enabled").is_clean());
+            black_box(run.outcome.delivered.iter().sum::<f64>())
+        });
+    });
+
+    let off = h.get("replay_audit_off").unwrap().median();
+    let on = h.get("replay_audit_on").unwrap().median();
+    let overhead = on.as_secs_f64() / off.as_secs_f64() - 1.0;
+    println!("audit overhead: {:.1}% (on {on:?} / off {off:?})", overhead * 100.0);
+    println!("BENCH\taudit_overhead_frac\t{overhead:.4}");
+}

@@ -41,6 +41,11 @@ pub struct PretiumConfig {
     pub price_floor: f64,
     /// Initial price scale at cold start (multiplies each link's floor).
     pub initial_price_scale: f64,
+    /// Run the network-state invariant auditor after every RA accept, SAM
+    /// re-optimization, PC price update, and executed step. Debug/test
+    /// builds audit unconditionally; this flag turns auditing on in
+    /// release builds too (e.g. for an audited evaluation replay).
+    pub audit: bool,
 }
 
 impl Default for PretiumConfig {
@@ -57,6 +62,7 @@ impl Default for PretiumConfig {
             reference: ReferenceWindow::Previous,
             price_floor: 0.05,
             initial_price_scale: 1.0,
+            audit: false,
         }
     }
 }
@@ -72,6 +78,8 @@ mod tests {
         assert_eq!(c.bump.factor, 2.0);
         assert_eq!(c.sam_every, 1);
         assert!(c.sam_enabled);
+        // Release-build auditing is opt-in (debug builds always audit).
+        assert!(!c.audit);
     }
 
     #[test]

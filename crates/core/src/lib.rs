@@ -23,7 +23,12 @@
 //! * [`config`] — tunables, with paper defaults.
 //! * [`incentives`] — §5: empirical deviation analysis (can customers gain
 //!   by misreporting?).
+//! * [`audit`] — the network-state invariant auditor: sweeps shared-state
+//!   invariants (no oversubscription, plans backed by reservations, finite
+//!   money, price floors, guarantee coverage) after each module checkpoint.
+//! * [`telemetry`] — per-module counters and wall-clock timings.
 
+pub mod audit;
 pub mod config;
 pub mod contract;
 pub mod incentives;
@@ -31,12 +36,15 @@ pub mod menu;
 pub mod pretium;
 pub mod schedule;
 pub mod state;
+pub mod telemetry;
 pub mod topk;
 
+pub use audit::{AuditContext, AuditPoint, Auditor, Invariant, Violation};
 pub use config::{PretiumConfig, ReferenceWindow};
 pub use contract::{Contract, ContractId, RequestParams};
 pub use menu::{build_menu, PriceMenu};
 pub use pretium::{initial_price, price_floor, Pretium};
 pub use schedule::{Job, ScheduleProblem, ScheduleSession, ScheduleSolution};
 pub use state::{NetworkState, PriceBump};
+pub use telemetry::{ModuleStats, Telemetry};
 pub use topk::{topk_upper_bound, TopkEncoding};

@@ -42,8 +42,25 @@ impl PriceMenu {
         self.segments.iter().map(|s| s.units).sum()
     }
 
+    /// Whether the menu can back zero units (no sellable capacity in the
+    /// request's window). Purchases off an empty menu are unpriceable and
+    /// must be rejected, not booked at an infinite price.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Per-unit price of best-effort units beyond `x̄` — the final marginal
+    /// price — or `None` when the menu is empty and there is no price to
+    /// extend.
+    pub fn best_effort_price(&self) -> Option<f64> {
+        self.segments.last().map(|s| s.unit_price)
+    }
+
     /// Total price `p(x)` for routing `x` units. Beyond `x̄`, additional
-    /// units are priced at the final marginal price (best-effort class).
+    /// units are explicitly priced at [`PriceMenu::best_effort_price`]
+    /// (the best-effort class). On an empty menu any positive quantity is
+    /// unpriceable (`∞`); callers must reject such purchases instead of
+    /// booking them (see `Pretium::accept`).
     pub fn price(&self, x: f64) -> f64 {
         assert!(x >= 0.0, "negative quantity");
         let mut remaining = x;
@@ -56,7 +73,11 @@ impl PriceMenu {
                 return total;
             }
         }
-        total + remaining * self.marginal_at_bound()
+        match self.best_effort_price() {
+            Some(p) => total + remaining * p,
+            None if remaining <= 0.0 => total,
+            None => f64::INFINITY,
+        }
     }
 
     /// Marginal price `Δ(x)` of the next unit after `x`.
@@ -72,9 +93,11 @@ impl PriceMenu {
         self.marginal_at_bound()
     }
 
-    /// The marginal price at `x̄` (what best-effort units would pay).
+    /// The marginal price at `x̄` (what best-effort units would pay): the
+    /// explicit best-effort price, or `∞` for an empty menu (nothing is
+    /// sellable at any price).
     pub fn marginal_at_bound(&self) -> f64 {
-        self.segments.last().map(|s| s.unit_price).unwrap_or(f64::INFINITY)
+        self.best_effort_price().unwrap_or(f64::INFINITY)
     }
 
     /// Theorem 5.2: the utility-maximizing purchase for a customer with
@@ -361,6 +384,23 @@ mod tests {
         assert_eq!(menu.capacity_bound(), 0.0);
         assert_eq!(menu.optimal_purchase(100.0, 10.0), 0.0);
         assert_eq!(menu.marginal_at_bound(), f64::INFINITY);
+        assert!(menu.is_empty());
+        assert_eq!(menu.best_effort_price(), None);
+        // Positive quantities are unpriceable; zero units cost zero.
+        assert!(menu.price(1.0).is_infinite());
+        assert_eq!(menu.price(0.0), 0.0);
+    }
+
+    #[test]
+    fn best_effort_price_extends_final_segment() {
+        let (_, state, paths) = setup();
+        let menu = build_menu(&state, &paths, 0, 0);
+        // Final (bumped) segment price: 2.0.
+        assert_eq!(menu.best_effort_price(), Some(2.0));
+        assert!(!menu.is_empty());
+        // 5 units beyond x̄ = 10 are priced explicitly at 2.0 each.
+        assert!((menu.price(15.0) - (8.0 + 2.0 * 2.0 + 5.0 * 2.0)).abs() < 1e-9);
+        assert!(menu.price(1e6).is_finite());
     }
 
     #[test]

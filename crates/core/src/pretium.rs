@@ -6,13 +6,17 @@
 //! timestep*; the PC recomputes prices *once per window* from the duals of
 //! an offline solve over recent history.
 
+use crate::audit::{AuditContext, AuditPoint, Auditor};
 use crate::config::{PretiumConfig, ReferenceWindow};
 use crate::contract::{Contract, ContractId, RequestParams};
 use crate::menu::{build_menu, PriceMenu};
 use crate::schedule::{self, Job, ScheduleProblem, ScheduleSession};
 use crate::state::NetworkState;
+use crate::telemetry::Telemetry;
 use pretium_lp::{SessionStats, SolveError};
 use pretium_net::{EdgeId, Network, Path, PathSet, TimeGrid, Timestep, UsageTracker};
+use std::collections::HashSet;
+use std::time::Instant;
 
 /// The scheduling LP SAM keeps alive between timesteps of one billing
 /// window: successive `run_sam` calls advance it (fix executed flows,
@@ -22,14 +26,28 @@ struct SamCarry {
     sess: ScheduleSession,
     /// Contract index of each job slot (insertion order of the session).
     contract_of_job: Vec<usize>,
+    /// Membership index over `contract_of_job` — the per-timestep
+    /// append loop probes every active contract, so a linear scan here
+    /// would make carry maintenance O(n²) in contract count.
+    members: HashSet<usize>,
     /// Billing window the session was built in (rebuilt at boundaries, when
     /// realized usage rolls into the cost proxy's past constants).
     window: usize,
 }
 
 impl SamCarry {
+    fn new(sess: ScheduleSession, contract_of_job: Vec<usize>, window: usize) -> Self {
+        let members = contract_of_job.iter().copied().collect();
+        SamCarry { sess, contract_of_job, members, window }
+    }
+
     fn has_contract(&self, i: usize) -> bool {
-        self.contract_of_job.contains(&i)
+        self.members.contains(&i)
+    }
+
+    fn push_contract(&mut self, i: usize) {
+        self.contract_of_job.push(i);
+        self.members.insert(i);
     }
 }
 
@@ -51,6 +69,13 @@ pub struct Pretium {
     /// LP restart counters accumulated from retired sessions and PC solves
     /// (use [`Pretium::lp_stats`], which folds in the live session).
     lp_stats: SessionStats,
+    /// Per-edge price floor (indexed by edge), cached at construction.
+    floors: Vec<f64>,
+    /// Per-module counters and timings.
+    telemetry: Telemetry,
+    /// Invariant auditor — `Some` in debug/test builds and when
+    /// [`PretiumConfig::audit`] is set.
+    audit: Option<Auditor>,
 }
 
 impl Pretium {
@@ -59,12 +84,14 @@ impl Pretium {
     /// `cfg.initial_price_scale` (cold start; see DESIGN.md §8).
     pub fn new(net: Network, grid: TimeGrid, horizon: usize, cfg: PretiumConfig) -> Self {
         assert!(horizon > 0);
-        let floors: Vec<f64> =
+        let initial: Vec<f64> =
             net.edge_ids().map(|e| initial_price(&net, &grid, &cfg, e)).collect();
         let state = NetworkState::new(&net, grid, horizon, cfg.highpri_fraction, cfg.bump, |e| {
-            floors[e.index()]
+            initial[e.index()]
         });
         let path_cache = PathSet::new(cfg.k_paths);
+        let floors: Vec<f64> = net.edge_ids().map(|e| price_floor(&net, &grid, &cfg, e)).collect();
+        let audit = (cfg.audit || cfg!(debug_assertions)).then(Auditor::new);
         Pretium {
             net,
             grid,
@@ -77,6 +104,9 @@ impl Pretium {
             pc_runs: 0,
             sam: None,
             lp_stats: SessionStats::default(),
+            floors,
+            telemetry: Telemetry::default(),
+            audit,
         }
     }
 
@@ -104,6 +134,37 @@ impl Pretium {
         self.pc_runs
     }
 
+    /// Per-module counters and wall-clock timings.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// The invariant auditor, when auditing is enabled (always in
+    /// debug/test builds, via [`PretiumConfig::audit`] in release).
+    pub fn auditor(&self) -> Option<&Auditor> {
+        self.audit.as_ref()
+    }
+
+    /// Sweep every invariant now and record violations. Runs after each
+    /// module checkpoint; also callable directly (e.g. right after
+    /// [`Pretium::inject_capacity_loss`], before SAM has replanned).
+    pub fn run_audit(&mut self, point: AuditPoint, now: Timestep) {
+        let Some(aud) = self.audit.as_mut() else { return };
+        let t0 = Instant::now();
+        let cx = AuditContext {
+            net: &self.net,
+            state: &self.state,
+            contracts: &self.contracts,
+            contract_paths: &self.contract_paths,
+            floors: &self.floors,
+            pc_has_run: self.pc_runs > 0,
+            now,
+        };
+        let new = aud.check(point, &cx);
+        self.telemetry.audit_violations += new;
+        self.telemetry.audit.record(t0.elapsed());
+    }
+
     /// LP restart counters across everything this instance solved: all SAM
     /// sessions (live and retired) plus the PC's offline solves. The warm
     /// fraction is the headline number — it is the share of LP solves that
@@ -119,11 +180,18 @@ impl Pretium {
     /// RA, step 1: generate the price menu for a request's parameters
     /// (§4.1). Pure read of the network state.
     pub fn quote(&mut self, params: &RequestParams) -> PriceMenu {
+        let t0 = Instant::now();
         let paths = self.path_cache.paths(&self.net, params.src, params.dst);
-        if paths.is_empty() {
-            return PriceMenu::default();
+        let menu = if paths.is_empty() {
+            PriceMenu::default()
+        } else {
+            build_menu(&self.state, paths, params.start, params.deadline.min(self.horizon - 1))
+        };
+        if menu.is_empty() {
+            self.telemetry.quotes_empty += 1;
         }
-        build_menu(&self.state, paths, params.start, params.deadline.min(self.horizon - 1))
+        self.telemetry.quote.record(t0.elapsed());
+        menu
     }
 
     /// RA, step 2: the customer accepts `units` off the quoted menu. The
@@ -131,36 +199,54 @@ impl Pretium {
     /// payment `p(units)` is locked in, and the marginal price becomes the
     /// contract's value proxy `λ`.
     ///
-    /// Returns `None` when `units` is zero/negative (customer walked away)
-    /// or no route exists.
+    /// Returns `None` when `units` is zero/negative (customer walked
+    /// away), no route exists, or the menu cannot back a single unit — an
+    /// empty menu has no finite price for any quantity, so booking it
+    /// would record `payment = λ = ∞` and poison every downstream sum.
     pub fn accept(
         &mut self,
         params: &RequestParams,
         menu: &PriceMenu,
         units: f64,
     ) -> Option<ContractId> {
-        if units <= 1e-9 {
+        if units <= 1e-9 || menu.capacity_bound() <= 1e-9 {
+            self.telemetry.accepts_rejected += 1;
             return None;
         }
+        let t0 = Instant::now();
         let paths = self.path_cache.paths(&self.net, params.src, params.dst).to_vec();
         if paths.is_empty() {
+            self.telemetry.accepts_rejected += 1;
             return None;
         }
         let guaranteed = units.min(menu.capacity_bound());
         let allocs = menu.allocations_for(guaranteed);
         let mut plan = Vec::with_capacity(allocs.len());
         for a in &allocs {
-            for &e in paths[a.path_idx].edges() {
-                // The menu was built against this very state, so the
-                // reservation must fit (clamped for float safety).
-                let amount = a.units.min(self.state.available(e, a.t));
-                debug_assert!((amount - a.units).abs() < 1e-6 * (1.0 + a.units));
-                self.state.reserve(e, a.t, amount);
+            // The menu was built against this very state, so the
+            // reservation fits up to float noise; clamp to what the path's
+            // tightest link can still carry and plan exactly that amount —
+            // planning the unclamped units would let `execute_step` bill
+            // usage the links never set aside.
+            let room = paths[a.path_idx]
+                .edges()
+                .iter()
+                .map(|&e| self.state.available(e, a.t))
+                .fold(f64::INFINITY, f64::min);
+            let take = a.units.min(room);
+            debug_assert!((take - a.units).abs() < 1e-6 * (1.0 + a.units));
+            if take <= 1e-12 {
+                continue;
             }
-            plan.push((a.path_idx, a.t, a.units));
+            for &e in paths[a.path_idx].edges() {
+                self.state.reserve(e, a.t, take);
+            }
+            plan.push((a.path_idx, a.t, take));
         }
         let payment = menu.price(units);
         let lambda = menu.marginal((units - 1e-9).max(0.0));
+        debug_assert!(payment.is_finite(), "non-empty menu priced {units} units at {payment}");
+        debug_assert!(lambda.is_finite(), "non-empty menu has non-finite marginal {lambda}");
         let id = ContractId(self.contracts.len());
         self.contracts.push(Contract {
             params: params.clone(),
@@ -172,6 +258,9 @@ impl Pretium {
             plan,
         });
         self.contract_paths.push(paths);
+        self.telemetry.accepts_admitted += 1;
+        self.telemetry.accept.record(t0.elapsed());
+        self.run_audit(AuditPoint::Accept, params.arrival);
         Some(id)
     }
 
@@ -189,13 +278,16 @@ impl Pretium {
     /// new contract's deadline stretches past the carried horizon.
     pub fn run_sam(&mut self, now: Timestep, realized: &UsageTracker) -> Result<(), SolveError> {
         if !self.cfg.sam_enabled || now >= self.horizon {
+            self.telemetry.sam_skipped += 1;
             return Ok(());
         }
         let active: Vec<usize> =
             (0..self.contracts.len()).filter(|&i| self.contracts[i].active_at(now)).collect();
         if active.is_empty() {
+            self.telemetry.sam_skipped += 1;
             return Ok(());
         }
+        let t0 = Instant::now();
         let window = self.grid.window_of(now);
         let reusable = self.sam.as_ref().is_some_and(|c| c.window == window);
         let mut carry = if reusable {
@@ -223,11 +315,7 @@ impl Pretium {
                 topk: self.cfg.topk,
                 cost_scale: self.cfg.cost_scale,
             };
-            SamCarry {
-                sess: ScheduleSession::new(&problem),
-                contract_of_job: active.clone(),
-                window,
-            }
+            SamCarry::new(ScheduleSession::new(&problem), active.clone(), window)
         };
         // Freeze the steps executed since the last run, then append
         // contracts accepted in the meantime (with their remaining
@@ -240,7 +328,7 @@ impl Pretium {
                 let executed: Vec<(usize, Timestep, f64)> =
                     self.contracts[i].plan.iter().filter(|&&(_, t, _)| t < now).copied().collect();
                 carry.sess.record_executed(slot, &executed);
-                carry.contract_of_job.push(i);
+                carry.push_contract(i);
             }
         }
         let result = {
@@ -261,18 +349,38 @@ impl Pretium {
         // Install the new plans. The extraction excludes frozen past
         // steps, so plans contain only future flows; session jobs beyond
         // the active set (contracts that completed mid-window) simply get
-        // empty plans.
+        // empty plans. The LP respects capacities up to its own tolerance,
+        // so the clamp against the path's tightest remaining availability
+        // only shaves float noise — but whatever is shaved must also be
+        // shaved from the plan, or `execute_step` bills flow the links
+        // never carried.
         self.state.clear_reservations_from(now);
         for (j, &i) in carry.contract_of_job.iter().enumerate() {
-            self.contracts[i].plan = sol.flows[j].clone();
+            let mut plan = Vec::with_capacity(sol.flows[j].len());
             for &(pi, t, units) in &sol.flows[j] {
-                for &e in self.contract_paths[i][pi].edges() {
-                    let amount = units.min(self.state.available(e, t));
-                    self.state.reserve(e, t, amount);
+                let path = &self.contract_paths[i][pi];
+                let room = path
+                    .edges()
+                    .iter()
+                    .map(|&e| self.state.available(e, t))
+                    .fold(f64::INFINITY, f64::min);
+                let take = units.min(room);
+                if take <= 1e-12 {
+                    continue;
                 }
+                for &e in path.edges() {
+                    self.state.reserve(e, t, take);
+                }
+                plan.push((pi, t, take));
             }
+            self.contracts[i].plan = plan;
+        }
+        if sol.max_shortfall() > 1e-6 {
+            self.telemetry.sam_shortfalls += 1;
         }
         self.sam = Some(carry);
+        self.telemetry.sam.record(t0.elapsed());
+        self.run_audit(AuditPoint::Sam, now);
         Ok(())
     }
 
@@ -295,6 +403,7 @@ impl Pretium {
     /// contract `delivered` counters advance. Returns the total units
     /// moved.
     pub fn execute_step(&mut self, now: Timestep, usage: &mut UsageTracker) -> f64 {
+        let t0 = Instant::now();
         let mut total = 0.0;
         for (i, c) in self.contracts.iter_mut().enumerate() {
             for &(pi, t, units) in &c.plan {
@@ -308,6 +417,9 @@ impl Pretium {
                 total += units;
             }
         }
+        self.telemetry.units_executed += total;
+        self.telemetry.execute.record(t0.elapsed());
+        self.run_audit(AuditPoint::Execute, now);
         total
     }
 
@@ -320,6 +432,7 @@ impl Pretium {
         if w_now == 0 {
             return Ok(());
         }
+        let t0 = Instant::now();
         let lookback = self.cfg.lookback_windows.max(1).min(w_now);
         let lb_start = self.grid.window_start(w_now - lookback);
         // Jobs: every contract whose transfer window intersects the
@@ -383,6 +496,8 @@ impl Pretium {
             }
         }
         self.pc_runs += 1;
+        self.telemetry.pc.record(t0.elapsed());
+        self.run_audit(AuditPoint::Pc, now);
         Ok(())
     }
 

@@ -154,6 +154,12 @@ impl ScheduleSolution {
         self.dual(e, t) + self.usage_duals.get(&(e, t)).copied().unwrap_or(0.0)
     }
 
+    /// Largest guarantee shortfall across jobs (zero when every `min_units`
+    /// was met) — the §4.4 degradation signal the telemetry layer counts.
+    pub fn max_shortfall(&self) -> f64 {
+        self.shortfall.iter().fold(0.0f64, |a, &s| a.max(s))
+    }
+
     /// Total usage placed on `(e, t)` by this schedule.
     pub fn usage_on(&self, jobs: &[Job], e: EdgeId, t: Timestep) -> f64 {
         let mut total = 0.0;

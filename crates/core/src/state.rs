@@ -9,6 +9,12 @@
 
 use pretium_net::{EdgeId, Network, TimeGrid, Timestep};
 
+/// Relative float tolerance for reservation-vs-capacity comparisons, shared
+/// by [`NetworkState::reserve`]'s overbooking assert and the
+/// [`crate::audit::Auditor`]'s independent re-check so the two can never
+/// disagree about what counts as oversubscribed.
+pub const RESERVE_REL_TOL: f64 = 1e-6;
+
 /// Short-term congestion pricing rule (§4.1): once a link-timestep's
 /// reserved fraction crosses `threshold`, the remaining capacity is priced
 /// at `factor ×` the base price. Functionally equivalent to splitting each
@@ -124,7 +130,7 @@ impl NetworkState {
         self.reserved[i][t] += amount;
         let cap = self.sellable_capacity(e, t);
         assert!(
-            self.reserved[i][t] <= cap * (1.0 + 1e-6) + 1e-9,
+            self.reserved[i][t] <= cap * (1.0 + RESERVE_REL_TOL) + 1e-9,
             "overbooked {e} at t={t}: reserved {} > sellable {cap}",
             self.reserved[i][t]
         );

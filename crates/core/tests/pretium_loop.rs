@@ -148,6 +148,9 @@ fn full_loop_meets_guarantees_and_adapts_prices() {
     let p_w1 = pretium.state().price(e, grid.window_start(1));
     assert!(p_w1 > 0.01 + 1e-9, "expected congestion-driven price, got {p_w1}");
     assert_eq!(pretium.pc_runs(), 1);
+    // Debug builds audit every checkpoint; the loop must be violation-free.
+    let aud = pretium.auditor().unwrap();
+    assert!(aud.is_clean(), "{:?}", aud.violations());
 }
 
 /// Deferred cheap traffic: a flexible low-value request admitted during a
@@ -227,6 +230,10 @@ fn sam_reroutes_after_fault() {
         assert!(usage.at(sm1, t_) < 1e-9, "flow on dead link at t={t_}");
     }
     assert!(usage.capacity_violations(&net, 1e-6).is_empty());
+    // Rerouting kept the shared state consistent: SAM's replans after the
+    // fault must leave no oversubscription or unbacked plan behind.
+    let aud = pretium.auditor().unwrap();
+    assert!(aud.is_clean(), "{:?}", aud.violations());
 }
 
 /// The NoSAM ablation leaves preliminary schedules untouched.

@@ -1,7 +1,9 @@
 //! Plain-text report rendering: the tables and series the paper's figures
 //! plot, printed as aligned text so benches and examples can emit them
-//! directly.
+//! directly — plus the structured telemetry/audit section of a live
+//! Pretium run.
 
+use pretium_core::{Auditor, Telemetry};
 use std::fmt::Write as _;
 
 /// A named series of `(x, y)` points (one line in a figure).
@@ -52,6 +54,28 @@ pub fn render_table(title: &str, rows: &[(String, String)]) -> String {
     let width = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
     for (k, v) in rows {
         let _ = writeln!(out, "  {k:<width$}  {v}");
+    }
+    out
+}
+
+/// Render the structured telemetry section of a run: per-module call
+/// counts and timings, admission counters, and — when auditing was on —
+/// the invariant-sweep summary followed by the first recorded violations.
+pub fn render_telemetry(title: &str, telemetry: &Telemetry, audit: Option<&Auditor>) -> String {
+    let mut rows = telemetry.rows();
+    if let Some(aud) = audit {
+        rows.extend(aud.summary_rows());
+    }
+    let mut out = render_table(title, &rows);
+    if let Some(aud) = audit {
+        let shown = aud.violations().len().min(20);
+        for v in aud.violations().iter().take(shown) {
+            let _ = writeln!(out, "  ! {v}");
+        }
+        let total = aud.total_violations() as usize;
+        if total > shown {
+            let _ = writeln!(out, "  ! ... and {} more", total - shown);
+        }
     }
     out
 }

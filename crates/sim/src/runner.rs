@@ -48,6 +48,25 @@ pub struct PretiumRun {
     pub lp_stats: SessionStats,
 }
 
+impl PretiumRun {
+    /// Per-module counters and timings accumulated over the run.
+    pub fn telemetry(&self) -> &pretium_core::Telemetry {
+        self.system.telemetry()
+    }
+
+    /// The invariant auditor, when auditing was enabled (always in
+    /// debug/test builds, behind `PretiumConfig::audit` in release).
+    pub fn audit(&self) -> Option<&pretium_core::Auditor> {
+        self.system.auditor()
+    }
+
+    /// Render the run's telemetry (and audit summary, when available) as a
+    /// report section.
+    pub fn telemetry_report(&self, title: &str) -> String {
+        crate::report::render_telemetry(title, self.telemetry(), self.audit())
+    }
+}
+
 /// Replay `scenario` through Pretium, warm-starting prices with one
 /// throwaway pass (see [`run_pretium_cold`] for the raw cold-start run).
 ///
@@ -227,6 +246,23 @@ mod tests {
         // SAM re-solves every timestep off a carried session; the bulk of
         // the run's LP solves must reuse a basis rather than start cold.
         assert!(s.warm_primal + s.warm_dual > s.cold_starts, "warm starts did not dominate: {s:?}");
+    }
+
+    #[test]
+    fn full_replay_is_audit_clean() {
+        let sc = small();
+        let run = run_pretium(&sc, PretiumConfig::default(), Variant::Full).unwrap();
+        // Test builds audit unconditionally; a full replay must sweep every
+        // checkpoint without recording a single invariant violation.
+        let aud = run.audit().expect("auditor active in debug/test builds");
+        assert!(aud.checks() > 0);
+        assert!(aud.is_clean(), "violations: {:?}", aud.violations());
+        let t = run.telemetry();
+        assert!(t.accept.calls > 0);
+        assert!(t.execute.calls as usize == sc.horizon);
+        assert_eq!(t.audit_violations, 0);
+        let rendered = run.telemetry_report("telemetry");
+        assert!(rendered.contains("audit sweeps"));
     }
 
     #[test]

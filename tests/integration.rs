@@ -129,6 +129,25 @@ fn guarantees_hold_under_injected_faults() {
 }
 
 #[test]
+fn audited_replay_is_clean_across_seeds() {
+    // Property-style: full warm-started replays over several generated
+    // worlds must sweep every module checkpoint without one invariant
+    // violation (oversubscription, unbacked plans, non-finite money,
+    // sub-floor prices, uncovered guarantees).
+    for seed in [3u64, 21, 77] {
+        let sc = tiny(seed);
+        let cfg = PretiumConfig { audit: true, ..Default::default() };
+        for variant in [Variant::Full, Variant::NoSam] {
+            let run = run_pretium(&sc, cfg.clone(), variant).unwrap();
+            let aud = run.audit().expect("auditing enabled via config");
+            assert!(aud.checks() > 0, "seed {seed} {variant:?}: auditor never ran");
+            assert!(aud.is_clean(), "seed {seed} {variant:?}: {:?}", aud.violations());
+            assert_eq!(run.telemetry().audit_violations, 0);
+        }
+    }
+}
+
+#[test]
 fn lp_and_scheduling_agree_on_simple_instance() {
     // Schedule a single job via the high-level API and via a hand-built LP;
     // both must yield the same optimum.
