@@ -54,8 +54,8 @@ fn solve_step(
         vars.push(pv);
     }
     // Capacity rows for every edge touched by any path.
-    let mut edge_exprs: std::collections::HashMap<pretium_net::EdgeId, LinExpr> =
-        std::collections::HashMap::new();
+    let mut edge_exprs: rand::DetHashMap<pretium_net::EdgeId, LinExpr> =
+        rand::DetHashMap::default();
     for (ai, a) in active.iter().enumerate() {
         if Some(ai) == exclude {
             continue;

@@ -9,7 +9,7 @@ use pretium_sim::runner::{run_pretium_cold, Variant};
 use pretium_sim::scenario::ScenarioConfig;
 
 fn main() {
-    let scenario = ScenarioConfig::tiny(7).build();
+    let scenario = ScenarioConfig::tiny(rand::DEFAULT_SEED).build();
     let mut h = Harness::new().sample_size(10);
 
     h.bench_function("replay_audit_off", |b| {

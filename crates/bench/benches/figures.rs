@@ -9,7 +9,7 @@ use pretium_sim::experiments;
 use pretium_sim::scenario::ScenarioConfig;
 
 fn tiny_with_load(load: f64) -> ScenarioConfig {
-    let mut cfg = ScenarioConfig::tiny(7);
+    let mut cfg = ScenarioConfig::tiny(rand::DEFAULT_SEED);
     cfg.load_factor = load;
     cfg
 }
@@ -18,12 +18,12 @@ fn main() {
     let mut h = Harness::new().sample_size(10);
 
     h.bench_function("fig01_util_ratio_cdf", |b| {
-        b.iter(|| black_box(experiments::fig1_utilization_ratio_cdf(7).len()));
+        b.iter(|| black_box(experiments::fig1_utilization_ratio_cdf(rand::DEFAULT_SEED).len()));
     });
 
     h.bench_function("fig05_topk_proxy", |b| {
         b.iter(|| {
-            let fits = experiments::fig5_topk_proxy(7);
+            let fits = experiments::fig5_topk_proxy(rand::DEFAULT_SEED);
             black_box(fits.iter().map(|f| f.pearson).sum::<f64>())
         });
     });

@@ -1,0 +1,63 @@
+//! Parallel evaluation engine: wall-clock for one registry sweep
+//! (Figure 6, 24 cells at evaluation scale) with 1 worker vs a small
+//! pool, through the exact path `reproduce --jobs N` takes.
+//!
+//! Prints the speedup and pool occupancy, asserts the two runs merge to
+//! bit-identical results, and writes `BENCH_parallel_sweep.json` at the
+//! workspace root. On a single-core host the pool only interleaves, so
+//! the honest expectation there is ~1x; the >= 3x acceptance target
+//! applies to multi-core runners.
+
+use pretium_bench::{black_box, Harness};
+use pretium_sim::registry::{registry_at, run_experiments, Scale};
+
+const PARALLEL_JOBS: usize = 4;
+
+fn main() {
+    let mut h = Harness::new().sample_size(5);
+    let fig6: Vec<_> =
+        registry_at(Scale::Evaluation).into_iter().filter(|e| e.name() == "fig6").collect();
+    assert_eq!(fig6.len(), 1, "fig6 missing from the registry");
+    let seed = rand::DEFAULT_SEED;
+
+    h.bench_function("sweep_fig6_jobs1", |b| {
+        b.iter(|| black_box(run_experiments(&fig6, seed, 1).unwrap()));
+    });
+    h.bench_function("sweep_fig6_jobs4", |b| {
+        b.iter(|| black_box(run_experiments(&fig6, seed, PARALLEL_JOBS).unwrap()));
+    });
+
+    // Determinism contract: the merged figure must not depend on the
+    // worker count, only the telemetry may.
+    let (serial, _) = run_experiments(&fig6, seed, 1).unwrap();
+    let (parallel, pool) = run_experiments(&fig6, seed, PARALLEL_JOBS).unwrap();
+    assert_eq!(serial, parallel, "jobs=1 and jobs={PARALLEL_JOBS} merged differently");
+
+    let t1 = h.get("sweep_fig6_jobs1").unwrap().median();
+    let tn = h.get("sweep_fig6_jobs4").unwrap().median();
+    let speedup = t1.as_secs_f64() / tn.as_secs_f64();
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!(
+        "parallel_sweep fig6: jobs=1 {t1:?}, jobs={PARALLEL_JOBS} {tn:?} -> {speedup:.2}x \
+         (occupancy {:.1}%, {cores} core(s) available)",
+        pool.occupancy() * 100.0
+    );
+    println!("BENCH\tparallel_sweep_speedup\t{speedup:.3}");
+    println!("BENCH\tparallel_sweep_occupancy\t{:.3}", pool.occupancy());
+
+    // Hand-formatted (the workspace builds offline, without serde).
+    let json = format!(
+        "{{\n  \"bench\": \"parallel_sweep\",\n  \"experiment\": \"fig6\",\n  \
+         \"cells\": {cells},\n  \"jobs_serial\": 1,\n  \"jobs_parallel\": {PARALLEL_JOBS},\n  \
+         \"serial_secs\": {s:.6},\n  \"parallel_secs\": {p:.6},\n  \
+         \"speedup\": {speedup:.3},\n  \"occupancy\": {occ:.3},\n  \
+         \"cores_available\": {cores}\n}}\n",
+        cells = pool.cells.calls,
+        s = t1.as_secs_f64(),
+        p = tn.as_secs_f64(),
+        occ = pool.occupancy(),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel_sweep.json");
+    std::fs::write(path, json).expect("write BENCH_parallel_sweep.json");
+    println!("wrote {path}");
+}

@@ -47,7 +47,7 @@ fn no_realized(_: EdgeId, _: Timestep) -> f64 {
 
 fn main() {
     let mut h = Harness::new().sample_size(10);
-    let scenario = ScenarioConfig::evaluation(7, 1.0).build();
+    let scenario = ScenarioConfig::evaluation(rand::DEFAULT_SEED, 1.0).build();
     let net = scenario.net.clone();
     let grid = TimeGrid::new(STEPS, 30);
     let jobs = window_jobs(&net, &scenario.requests);

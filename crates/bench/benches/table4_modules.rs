@@ -9,7 +9,7 @@ use pretium_sim::ScenarioConfig;
 /// Warm a Pretium instance to mid-simulation state (half the requests
 /// admitted, SAM executed, first window done).
 fn warmed() -> (Pretium, UsageTracker, pretium_sim::Scenario, usize) {
-    let scenario = ScenarioConfig::evaluation(7, 1.0).build();
+    let scenario = ScenarioConfig::evaluation(rand::DEFAULT_SEED, 1.0).build();
     let mut system = Pretium::new(
         scenario.net.clone(),
         scenario.grid,

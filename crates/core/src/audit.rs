@@ -19,7 +19,7 @@
 use crate::contract::Contract;
 use crate::state::{NetworkState, RESERVE_REL_TOL};
 use pretium_net::{EdgeId, Network, Path, Timestep};
-use std::collections::HashMap;
+use rand::DetHashMap as HashMap;
 use std::fmt;
 
 /// Which module checkpoint triggered an audit sweep.
@@ -266,7 +266,7 @@ impl Auditor {
     /// network never set aside — exactly the accounting bug class this
     /// auditor exists to catch.
     fn check_plan_backing(&mut self, point: AuditPoint, cx: &AuditContext<'_>) {
-        let mut planned: HashMap<(EdgeId, Timestep), f64> = HashMap::new();
+        let mut planned: HashMap<(EdgeId, Timestep), f64> = HashMap::default();
         for (i, c) in cx.contracts.iter().enumerate() {
             for &(pi, t, units) in &c.plan {
                 if units <= 0.0 {

@@ -46,5 +46,5 @@ pub use menu::{build_menu, PriceMenu};
 pub use pretium::{initial_price, price_floor, Pretium};
 pub use schedule::{Job, ScheduleProblem, ScheduleSession, ScheduleSolution};
 pub use state::{NetworkState, PriceBump};
-pub use telemetry::{ModuleStats, Telemetry};
+pub use telemetry::{ModuleStats, PoolTelemetry, Telemetry};
 pub use topk::{topk_upper_bound, TopkEncoding};

@@ -10,7 +10,7 @@
 
 use crate::state::NetworkState;
 use pretium_net::{EdgeId, Path, Timestep};
-use std::collections::HashMap;
+use rand::DetHashMap as HashMap;
 
 /// Where a menu segment's capacity lives.
 #[derive(Debug, Clone, PartialEq)]
@@ -173,7 +173,7 @@ pub fn build_menu(
     assert!(start <= deadline, "empty request window");
     let deadline = deadline.min(state.horizon().saturating_sub(1));
     // Local hypothetical reservations on top of the state.
-    let mut extra: HashMap<(EdgeId, Timestep), f64> = HashMap::new();
+    let mut extra: HashMap<(EdgeId, Timestep), f64> = HashMap::default();
     let marginal = |state: &NetworkState,
                     extra: &HashMap<(EdgeId, Timestep), f64>,
                     e: EdgeId,

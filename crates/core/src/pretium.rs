@@ -15,7 +15,7 @@ use crate::state::NetworkState;
 use crate::telemetry::Telemetry;
 use pretium_lp::{SessionStats, SolveError};
 use pretium_net::{EdgeId, Network, Path, PathSet, TimeGrid, Timestep, UsageTracker};
-use std::collections::HashSet;
+use rand::DetHashSet as HashSet;
 use std::time::Instant;
 
 /// The scheduling LP SAM keeps alive between timesteps of one billing

@@ -45,7 +45,7 @@ use pretium_lp::{
 use pretium_net::cost::TOP_FRACTION;
 use pretium_net::percentile::top_k_count;
 use pretium_net::{EdgeId, Network, Path, TimeGrid, Timestep};
-use std::collections::HashMap;
+use rand::DetHashMap as HashMap;
 
 /// One schedulable job.
 #[derive(Debug, Clone)]
@@ -262,10 +262,10 @@ impl ScheduleSession {
             jobs: Vec::with_capacity(p.jobs.len()),
             vars: Vec::with_capacity(p.jobs.len()),
             shortfalls: Vec::with_capacity(p.jobs.len()),
-            cap_rows: HashMap::new(),
-            costed: HashMap::new(),
-            use_rows: HashMap::new(),
-            crossing: HashMap::new(),
+            cap_rows: HashMap::default(),
+            costed: HashMap::default(),
+            use_rows: HashMap::default(),
+            crossing: HashMap::default(),
             last_values: Vec::new(),
         };
         for job in p.jobs {

@@ -13,7 +13,7 @@
 //! assert_eq!(e.constant(), 1.0);
 //! ```
 
-use std::collections::HashMap;
+use rand::{DetHashMap as HashMap, DetState};
 use std::fmt;
 use std::ops::{Add, AddAssign, Mul, Neg, Sub};
 
@@ -149,7 +149,7 @@ impl LinExpr {
 
     /// The expression as a map `var -> merged coefficient`.
     pub fn coefficients(&self) -> HashMap<Var, f64> {
-        let mut m = HashMap::with_capacity(self.terms.len());
+        let mut m = HashMap::with_capacity_and_hasher(self.terms.len(), DetState);
         for t in &self.terms {
             *m.entry(t.var).or_insert(0.0) += t.coef;
         }

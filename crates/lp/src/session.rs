@@ -149,6 +149,16 @@ pub struct SolverSession {
     solved_rows: usize,
 }
 
+// The parallel evaluation engine (`pretium-sim::par`) moves one session
+// into each worker thread, so `SolverSession` must stay `Send + Sync`. A
+// future field that loses those bounds — an `Rc` cache, a raw pointer —
+// would silently force every sweep back to serial; fail the build instead.
+const _: () = {
+    const fn sealed<T: Send + Sync>() {}
+    sealed::<SolverSession>();
+    sealed::<SessionStats>();
+};
+
 impl SolverSession {
     /// Wrap a model in a fresh session (no saved basis; the first solve is
     /// cold).
@@ -517,7 +527,7 @@ mod tests {
         let mut s = SolverSession::new(m);
         let hidden: Vec<(LinExpr, f64, u64)> =
             vec![(LinExpr::from(x), 3.0, 0), (LinExpr::from(y), 2.0, 1), (x + y, 4.0, 2)];
-        let mut returned: std::collections::HashSet<u64> = Default::default();
+        let mut returned: rand::DetHashSet<u64> = Default::default();
         let mut gen = move |_: &Model, sol: &Solution| {
             let mut out = Vec::new();
             for (e, rhs, k) in &hidden {

@@ -6,8 +6,9 @@
 //! [`PathSet`] cache computes and stores them per node pair.
 
 use crate::graph::{EdgeId, Network, NodeId};
+use rand::{DetHashMap as HashMap, DetHashSet as HashSet};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::BinaryHeap;
 
 /// A loop-free directed path, stored as its edge sequence.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -149,7 +150,7 @@ pub fn shortest_path(
     dst: NodeId,
     weight: &impl Fn(EdgeId) -> f64,
 ) -> Option<Vec<EdgeId>> {
-    shortest_path_filtered(net, src, dst, weight, &HashSet::new(), &HashSet::new())
+    shortest_path_filtered(net, src, dst, weight, &HashSet::default(), &HashSet::default())
 }
 
 /// Yen's algorithm: up to `k` shortest loopless paths from `src` to `dst`.
@@ -177,7 +178,7 @@ pub fn k_shortest_paths(
         for i in 0..last.len() {
             let root = &last[..i];
             let spur_node = if i == 0 { src } else { net.edge(last[i - 1]).to };
-            let mut banned_edges = HashSet::new();
+            let mut banned_edges = HashSet::default();
             // Ban the next edge of every found path sharing this root.
             for p in &found {
                 if p.len() > i && p[..i] == *root {
@@ -185,7 +186,7 @@ pub fn k_shortest_paths(
                 }
             }
             // Ban root nodes to keep the path loopless.
-            let mut banned_nodes = HashSet::new();
+            let mut banned_nodes = HashSet::default();
             banned_nodes.insert(src);
             for &e in root {
                 banned_nodes.insert(net.edge(e).to);
@@ -229,7 +230,7 @@ impl PathSet {
     /// weighted).
     pub fn new(k: usize) -> Self {
         assert!(k >= 1);
-        PathSet { k, cache: HashMap::new() }
+        PathSet { k, cache: HashMap::default() }
     }
 
     /// Paths for `(src, dst)`, computed on first access.

@@ -8,6 +8,136 @@
 //! `rand`; everything in the workspace treats seeds as opaque, so only
 //! determinism per seed matters.
 
+/// The workspace-wide default seed. Experiments, scenarios, benches, and
+/// examples all start from this one constant; independent streams are
+/// derived from it with [`derive_seed`] rather than by hard-coding sibling
+/// constants.
+pub const DEFAULT_SEED: u64 = 7;
+
+/// FNV-1a hash of a label, used to split one base seed into named streams.
+pub fn hash_label(label: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in label.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Derive an independent, deterministic stream seed from `base` and a
+/// `label` naming the stream (`seed ⊕ hash(label)`, finalized through a
+/// SplitMix64 round so labels differing in one bit give unrelated seeds).
+///
+/// This is the workspace's stream-splitting primitive: the parallel
+/// evaluation engine derives one seed per sweep *cell* from the run seed
+/// and the cell's label, so results are a pure function of `(seed, cell)`
+/// — identical whether cells execute serially or on any number of worker
+/// threads, in any order.
+pub fn derive_seed(base: u64, label: &str) -> u64 {
+    split_u64(base ^ hash_label(label))
+}
+
+/// Derive an independent stream seed from `base` and a stream index
+/// (the numeric sibling of [`derive_seed`], for unlabeled replications).
+pub fn derive_seed_indexed(base: u64, index: u64) -> u64 {
+    split_u64(base ^ index.wrapping_mul(0x9E3779B97F4A7C15))
+}
+
+/// One SplitMix64 finalization round (also used by `StdRng::seed_from_u64`
+/// for state expansion).
+fn split_u64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Hash map with a fixed, thread-independent hasher.
+///
+/// `std`'s default `RandomState` draws its keys from a per-thread seed, so
+/// two identical maps iterate in different orders on different threads (or
+/// in different processes). Anywhere iteration order can reach a result —
+/// float accumulation, LP row construction, tie-breaking — that turns the
+/// worker a sweep cell lands on into an input. The evaluation engine's
+/// determinism contract (results are a pure function of the cell spec)
+/// therefore requires every such map to use this deterministic state
+/// instead of `RandomState`. Build with `DetHashMap::default()` or
+/// `with_capacity_and_hasher(n, DetState)`.
+pub type DetHashMap<K, V> = std::collections::HashMap<K, V, DetState>;
+
+/// Hash set sibling of [`DetHashMap`].
+pub type DetHashSet<K> = std::collections::HashSet<K, DetState>;
+
+/// [`std::hash::BuildHasher`] yielding [`DetHasher`]s from a constant seed.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DetState;
+
+impl std::hash::BuildHasher for DetState {
+    type Hasher = DetHasher;
+
+    fn build_hasher(&self) -> DetHasher {
+        DetHasher { state: 0 }
+    }
+}
+
+/// A fast multiply-xor hasher (the FxHash construction) with no random
+/// keys. Not DoS-resistant — keys here are internal (edge ids, timesteps,
+/// variable indices), never attacker-controlled.
+#[derive(Debug, Clone, Copy)]
+pub struct DetHasher {
+    state: u64,
+}
+
+impl DetHasher {
+    const K: u64 = 0x517cc1b727220a95;
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(Self::K);
+    }
+}
+
+impl std::hash::Hasher for DetHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(tail) ^ (rest.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
 /// Uniform sampling from a range type (the slice of `rand`'s
 /// `SampleRange`/`SampleUniform` machinery the workspace needs).
 pub trait SampleRange<T> {
@@ -169,6 +299,21 @@ pub mod rngs {
 mod tests {
     use super::rngs::StdRng;
     use super::{Rng, SeedableRng};
+
+    #[test]
+    fn derive_seed_is_stable_and_label_sensitive() {
+        use super::{derive_seed, derive_seed_indexed, DEFAULT_SEED};
+        assert_eq!(derive_seed(DEFAULT_SEED, "traffic"), derive_seed(DEFAULT_SEED, "traffic"));
+        assert_ne!(derive_seed(DEFAULT_SEED, "traffic"), derive_seed(DEFAULT_SEED, "requests"));
+        assert_ne!(derive_seed(1, "traffic"), derive_seed(2, "traffic"));
+        assert_ne!(derive_seed_indexed(1, 0), derive_seed_indexed(1, 1));
+        // Streams derived from different labels are decorrelated enough to
+        // seed independent generators.
+        let mut a = StdRng::seed_from_u64(derive_seed(DEFAULT_SEED, "a"));
+        let mut b = StdRng::seed_from_u64(derive_seed(DEFAULT_SEED, "b"));
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
 
     #[test]
     fn deterministic_per_seed() {

@@ -1,23 +1,31 @@
 //! Regenerate every table and figure of the paper's evaluation (§6).
 //!
 //! ```text
-//! cargo run --release -p pretium-sim --bin reproduce            # everything
-//! cargo run --release -p pretium-sim --bin reproduce -- fig6 fig8   # a subset
+//! cargo run --release -p pretium-sim --bin reproduce              # everything
+//! cargo run --release -p pretium-sim --bin reproduce -- fig6 fig8    # a subset
 //! cargo run --release -p pretium-sim --bin reproduce -- --seed 11
+//! cargo run --release -p pretium-sim --bin reproduce -- --jobs 4     # 4 workers
+//! cargo run --release -p pretium-sim --bin reproduce -- --tiny      # CI smoke scale
+//! cargo run --release -p pretium-sim --bin reproduce -- --list      # registry names
 //! ```
 //!
-//! Output is plain text: one block per figure with the same rows/series the
-//! paper plots. EXPERIMENTS.md records a captured run next to the paper's
-//! reported numbers.
+//! The figure list is the experiment registry (`pretium_sim::registry`):
+//! every selected experiment's cells are flattened into one work-stealing
+//! pool (`--jobs N` workers, default = available parallelism) and merged
+//! back in registry order, so output is bit-identical across job counts.
+//! Output is plain text: one block per figure with the same rows/series
+//! the paper plots. EXPERIMENTS.md records a captured run next to the
+//! paper's reported numbers.
 
-use pretium_sim::experiments::{self, ModuleRuntimes, LOAD_FACTORS};
-use pretium_sim::{
-    analyze_deviations, render_figure, render_table, Deviation, ScenarioConfig, Series,
-};
+use pretium_sim::registry::{registry_at, run_experiments, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut seed = experiments::DEFAULT_SEED;
+    let mut seed = rand::DEFAULT_SEED;
+    let mut jobs = pretium_sim::default_jobs();
+    let mut scale = Scale::Evaluation;
+    let mut list = false;
+    let mut show_pool = false;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -25,184 +33,56 @@ fn main() {
             "--seed" => {
                 seed = it.next().and_then(|s| s.parse().ok()).expect("--seed needs an integer");
             }
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .expect("--jobs needs a positive integer");
+            }
+            "--tiny" => scale = Scale::Tiny,
+            "--list" => list = true,
+            "--pool" => show_pool = true,
             other => wanted.push(other.to_string()),
         }
     }
-    let all = wanted.is_empty();
-    let want = |name: &str| all || wanted.iter().any(|w| w == name);
 
-    if want("table1") {
-        println!("{}", pretium_workload::survey::format_table1());
+    let experiments = registry_at(scale);
+    if list {
+        for exp in &experiments {
+            let aliases = exp.aliases();
+            if aliases.is_empty() {
+                println!("{}", exp.name());
+            } else {
+                println!("{} (aliases: {})", exp.name(), aliases.join(", "));
+            }
+        }
+        return;
     }
-    if want("fig1") {
-        let cdf = experiments::fig1_utilization_ratio_cdf(seed);
-        let series = vec![Series::new("CDF", cdf)];
-        println!(
-            "{}",
-            render_figure("Figure 1: CDF of p90/p10 link-utilization ratio", "ratio", &series)
-        );
+
+    let all = wanted.is_empty();
+    let selected: Vec<_> = experiments
+        .into_iter()
+        .filter(|exp| {
+            all || wanted.iter().any(|w| w == exp.name() || exp.aliases().iter().any(|a| a == w))
+        })
+        .collect();
+    if selected.is_empty() {
+        eprintln!("no experiment matches {wanted:?}; try --list");
+        std::process::exit(2);
     }
-    if want("fig2") {
-        println!("Figure 2: see `cargo run --release --example paper_example`\n");
+
+    let (results, pool) = match run_experiments(&selected, seed, jobs) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("experiment failed: {e:?}");
+            std::process::exit(1);
+        }
+    };
+    for (_, result) in &results {
+        println!("{}", result.render());
     }
-    if want("fig5") {
-        let fits = experiments::fig5_topk_proxy(seed);
-        let rows: Vec<(String, String)> = fits
-            .iter()
-            .map(|f| {
-                (
-                    f.distribution.clone(),
-                    format!(
-                        "pearson={:.4} slope={:.3} intercept={:.3}",
-                        f.pearson, f.slope, f.intercept
-                    ),
-                )
-            })
-            .collect();
-        println!("{}", render_table("Figure 5: z_e (top-10% mean) vs y_e (95th pct)", &rows));
-    }
-    if want("fig6") {
-        let series = experiments::fig6_welfare(seed, &LOAD_FACTORS).unwrap();
-        println!("{}", render_figure("Figure 6: welfare relative to OPT", "load", &series));
-    }
-    if want("fig7") || want("fig7a") {
-        let (prices, util) = experiments::fig7a_price_and_utilization(seed).unwrap();
-        let series = vec![
-            Series::new("price", prices.iter().enumerate().map(|(t, &p)| (t as f64, p)).collect()),
-            Series::new(
-                "utilization",
-                util.iter().enumerate().map(|(t, &u)| (t as f64, u)).collect(),
-            ),
-        ];
-        println!(
-            "{}",
-            render_figure(
-                "Figure 7a: price & utilization over time (busiest pct link)",
-                "t",
-                &series
-            )
-        );
-    }
-    if want("fig7") || want("fig7b") {
-        let (_, series) = experiments::fig7b_value_buckets(seed).unwrap();
-        println!(
-            "{}",
-            render_figure(
-                "Figure 7b: value captured per value bucket (rel. OPT)",
-                "bucket<=",
-                &series
-            )
-        );
-    }
-    if want("fig7") || want("fig7c") {
-        let pts = experiments::fig7c_price_vs_value(seed).unwrap();
-        println!(
-            "{}",
-            pretium_sim::render_ascii_plot(
-                "Figure 7c: admission price vs request value",
-                &pts,
-                60,
-                14
-            )
-        );
-    }
-    if want("fig8") {
-        let series = experiments::fig8_profit(seed, &LOAD_FACTORS).unwrap();
-        println!("{}", render_figure("Figure 8: profit relative to RegionOracle", "load", &series));
-    }
-    if want("fig9") {
-        let series = experiments::fig9_completion(seed, &LOAD_FACTORS).unwrap();
-        println!("{}", render_figure("Figure 9: fraction of requests completed", "load", &series));
-    }
-    if want("fig10") {
-        let series = experiments::fig10_p90_utilization_cdf(seed).unwrap();
-        println!(
-            "{}",
-            render_figure("Figure 10: CDF of per-link p90 utilization", "p90 util", &series)
-        );
-    }
-    if want("fig11") {
-        let series = experiments::fig11_ablations(seed, &LOAD_FACTORS).unwrap();
-        println!("{}", render_figure("Figure 11: Pretium ablations (rel. OPT)", "load", &series));
-    }
-    if want("fig12") {
-        let series = experiments::fig12_link_cost(seed, &[1.0, 1.4, 1.8, 2.2]).unwrap();
-        println!(
-            "{}",
-            render_figure("Figure 12: welfare vs mean link cost (load 1)", "cost scale", &series)
-        );
-    }
-    if want("fig13") || want("fig14") {
-        let rows = experiments::fig13_14_value_distributions(seed, &[1.0, 2.0, 4.0]).unwrap();
-        let table: Vec<(String, String)> = rows
-            .iter()
-            .map(|r| {
-                (
-                    format!("{} mu/sigma={}", r.distribution, r.mean_over_std),
-                    format!(
-                        "Pretium={:.3} Region={:.3} profit_ratio={:.2}",
-                        r.pretium_welfare, r.region_welfare, r.profit_ratio
-                    ),
-                )
-            })
-            .collect();
-        println!(
-            "{}",
-            render_table("Figures 13/14: value-distribution sensitivity (rel. OPT)", &table)
-        );
-    }
-    if want("table4") {
-        let rt = experiments::table4_runtimes(seed, 2.0).unwrap();
-        let rows = vec![
-            (
-                "RA (per request)".to_string(),
-                format!(
-                    "median {:.4}s  p95 {:.4}s",
-                    ModuleRuntimes::median(&rt.ra),
-                    ModuleRuntimes::p95(&rt.ra)
-                ),
-            ),
-            (
-                "SAM (per timestep)".to_string(),
-                format!(
-                    "median {:.4}s  p95 {:.4}s",
-                    ModuleRuntimes::median(&rt.sam),
-                    ModuleRuntimes::p95(&rt.sam)
-                ),
-            ),
-            (
-                "PC (per window)".to_string(),
-                format!(
-                    "median {:.4}s  p95 {:.4}s",
-                    ModuleRuntimes::median(&rt.pc),
-                    ModuleRuntimes::p95(&rt.pc)
-                ),
-            ),
-        ];
-        println!("{}", render_table("Table 4: module runtimes", &rows));
-    }
-    if want("incentives") {
-        let sc = ScenarioConfig::evaluation(seed, 1.0).build();
-        let report = analyze_deviations(
-            &sc,
-            &pretium_core::PretiumConfig::default(),
-            &[Deviation::LaterDeadline(2), Deviation::TighterDeadline(1), Deviation::Split],
-            12,
-        )
-        .unwrap();
-        let rows = vec![
-            ("sampled users".to_string(), report.sampled.to_string()),
-            ("simulated deviations".to_string(), report.simulated.to_string()),
-            (
-                "could gain (paper: <26%)".to_string(),
-                format!("{} ({:.0}%)", report.gainers, 100.0 * report.gainer_fraction()),
-            ),
-            (
-                "avg gain when gaining (paper: <6%)".to_string(),
-                format!("{:.1}%", 100.0 * report.avg_gain),
-            ),
-            ("max gain".to_string(), format!("{:.1}%", 100.0 * report.max_gain)),
-        ];
-        println!("{}", render_table("Section 5: deviation study", &rows));
+    if show_pool || jobs > 1 {
+        println!("{}", pretium_sim::report::render_pool("Parallel engine", &pool));
     }
 }

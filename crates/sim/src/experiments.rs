@@ -20,7 +20,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Default seed for every experiment (override per call for replications).
-pub const DEFAULT_SEED: u64 = 7;
+/// Re-exported from `pretium-rand`, the workspace's single seed authority.
+pub use rand::DEFAULT_SEED;
 
 /// The load factors swept by Figures 6, 8, 9 and 11.
 pub const LOAD_FACTORS: [f64; 4] = [0.5, 1.0, 2.0, 4.0];
@@ -144,101 +145,181 @@ impl Comparison {
     }
 }
 
-/// Run every scheme of §6.1 on one scenario.
+/// The per-scheme result produced by one comparison cell (private plumbing
+/// of [`compare_schemes_jobs`]; each §6.1 scheme returns its own shape).
+enum SchemeOut {
+    Plain(Box<Outcome>),
+    Pretium(Box<PretiumRun>),
+    Region(Box<baselines::RegionOracleResult>),
+    Peak(Box<baselines::PeakOracleResult>),
+}
+
+impl SchemeOut {
+    fn plain(self) -> Outcome {
+        match self {
+            SchemeOut::Plain(o) => *o,
+            _ => unreachable!("cell returned a different scheme shape"),
+        }
+    }
+}
+
+/// Run every scheme of §6.1 on one scenario, solving them concurrently on
+/// up to [`crate::par::default_jobs`] workers (see [`compare_schemes_jobs`]).
 pub fn compare_schemes(config: &ScenarioConfig) -> Result<Comparison, SolveError> {
-    let scenario = config.build();
-    let off = OfflineConfig::default();
-    let priced = PricedOfflineConfig::default();
-    let opt =
-        baselines::opt(&scenario.net, &scenario.grid, scenario.horizon, &scenario.requests, &off)?;
-    let pretium = run_pretium(&scenario, PretiumConfig::default(), Variant::Full)?;
-    let no_prices = baselines::no_prices(
-        &scenario.net,
-        &scenario.grid,
-        scenario.horizon,
-        &scenario.requests,
-        &off,
-    )?;
-    let region = baselines::region_oracle(
-        &scenario.net,
-        &scenario.grid,
-        scenario.horizon,
-        &scenario.requests,
-        &priced,
-    )?;
-    let peaks = baselines::peak_steps_from_trace(&scenario.trace, &scenario.grid);
-    let peak = baselines::peak_oracle(
-        &scenario.net,
-        &scenario.grid,
-        scenario.horizon,
-        &scenario.requests,
-        &peaks,
-        &priced,
-    )?;
-    let vcg = baselines::vcg_like(
-        &scenario.net,
-        &scenario.grid,
-        scenario.horizon,
-        &scenario.requests,
-        &priced,
-    )?;
+    compare_schemes_jobs(config, crate::par::default_jobs())
+}
+
+/// Run every scheme of §6.1 on one scenario with an explicit worker count.
+///
+/// The scenario is built once and shared immutably behind `Arc`; the five
+/// schemes (plus the OPT LP) are independent solves, each with its own
+/// `SolverSession`, so they execute as parallel cells. Results are merged
+/// in declaration order — `jobs` affects wall clock only, never values.
+pub fn compare_schemes_jobs(
+    config: &ScenarioConfig,
+    jobs: usize,
+) -> Result<Comparison, SolveError> {
+    use crate::par::Cell;
+    use std::sync::Arc;
+
+    let scenario = Arc::new(config.build());
+    let sc = |f: fn(&Scenario) -> Result<SchemeOut, SolveError>, name: &str| {
+        let scenario = Arc::clone(&scenario);
+        Cell::new(name, move || f(&scenario))
+    };
+    let cells: Vec<Cell<SchemeOut, SolveError>> = vec![
+        sc(
+            |s| {
+                baselines::opt(&s.net, &s.grid, s.horizon, &s.requests, &OfflineConfig::default())
+                    .map(|o| SchemeOut::Plain(Box::new(o)))
+            },
+            "scheme/OPT",
+        ),
+        sc(
+            |s| {
+                run_pretium(s, PretiumConfig::default(), Variant::Full)
+                    .map(|r| SchemeOut::Pretium(Box::new(r)))
+            },
+            "scheme/Pretium",
+        ),
+        sc(
+            |s| {
+                baselines::no_prices(
+                    &s.net,
+                    &s.grid,
+                    s.horizon,
+                    &s.requests,
+                    &OfflineConfig::default(),
+                )
+                .map(|o| SchemeOut::Plain(Box::new(o)))
+            },
+            "scheme/NoPrices",
+        ),
+        sc(
+            |s| {
+                baselines::region_oracle(
+                    &s.net,
+                    &s.grid,
+                    s.horizon,
+                    &s.requests,
+                    &PricedOfflineConfig::default(),
+                )
+                .map(|r| SchemeOut::Region(Box::new(r)))
+            },
+            "scheme/RegionOracle",
+        ),
+        sc(
+            |s| {
+                let peaks = baselines::peak_steps_from_trace(&s.trace, &s.grid);
+                baselines::peak_oracle(
+                    &s.net,
+                    &s.grid,
+                    s.horizon,
+                    &s.requests,
+                    &peaks,
+                    &PricedOfflineConfig::default(),
+                )
+                .map(|r| SchemeOut::Peak(Box::new(r)))
+            },
+            "scheme/PeakOracle",
+        ),
+        sc(
+            |s| {
+                baselines::vcg_like(
+                    &s.net,
+                    &s.grid,
+                    s.horizon,
+                    &s.requests,
+                    &PricedOfflineConfig::default(),
+                )
+                .map(|o| SchemeOut::Plain(Box::new(o)))
+            },
+            "scheme/VCGLike",
+        ),
+    ];
+    let (results, _telemetry) = crate::par::run_cells(jobs, cells);
+    let mut outs = Vec::with_capacity(results.len());
+    for r in results {
+        outs.push(r?);
+    }
+    // Declaration order above; pop back-to-front.
+    let vcg = outs.pop().unwrap().plain();
+    let peak = match outs.pop().unwrap() {
+        SchemeOut::Peak(p) => *p,
+        _ => unreachable!(),
+    };
+    let region = match outs.pop().unwrap() {
+        SchemeOut::Region(r) => *r,
+        _ => unreachable!(),
+    };
+    let no_prices = outs.pop().unwrap().plain();
+    let pretium = match outs.pop().unwrap() {
+        SchemeOut::Pretium(p) => *p,
+        _ => unreachable!(),
+    };
+    let opt = outs.pop().unwrap().plain();
+    let scenario = Arc::try_unwrap(scenario).unwrap_or_else(|arc| (*arc).clone());
     Ok(Comparison { scenario, opt, pretium, no_prices, region, peak, vcg })
 }
 
+/// Run one registry experiment on the engine and return its figure series.
+fn run_figure_experiment(
+    exp: std::sync::Arc<dyn crate::registry::Experiment>,
+    seed: u64,
+) -> Result<Vec<Series>, SolveError> {
+    let (specs, outs) = crate::registry::run_experiment_cells(
+        std::sync::Arc::clone(&exp),
+        seed,
+        crate::par::default_jobs(),
+    )?;
+    match exp.merge(&specs, outs) {
+        crate::registry::ExperimentResult::Figure { series, .. } => Ok(series),
+        other => unreachable!("expected a figure result, got {other:?}"),
+    }
+}
+
 /// Figure 6: welfare relative to OPT vs load factor, for every scheme.
+#[deprecated(note = "use registry::Fig6Welfare via registry()/run_experiments")]
 pub fn fig6_welfare(seed: u64, loads: &[f64]) -> Result<Vec<Series>, SolveError> {
-    sweep_loads(seed, loads, |cmp| {
-        let opt = cmp.welfare(&cmp.opt);
-        cmp.schemes()
-            .into_iter()
-            .map(|(name, o)| (name.to_string(), cmp.welfare(o) / opt))
-            .collect()
-    })
+    use crate::registry::{Fig6Welfare, Scale};
+    run_figure_experiment(std::sync::Arc::new(Fig6Welfare::new(Scale::Evaluation, loads)), seed)
 }
 
 /// Figure 8: provider profit relative to RegionOracle vs load factor.
 /// When RegionOracle's profit is near zero the ratio is meaningless, so
 /// the denominator is floored at 1% of OPT welfare (ratios then read as
 /// "profit in units of 1% of achievable welfare").
+#[deprecated(note = "use registry::Fig8Profit via registry()/run_experiments")]
 pub fn fig8_profit(seed: u64, loads: &[f64]) -> Result<Vec<Series>, SolveError> {
-    sweep_loads(seed, loads, |cmp| {
-        let floor = (cmp.welfare(&cmp.opt).abs() * 0.01).max(1.0);
-        let base = cmp.profit(&cmp.region.outcome).max(floor);
-        vec![
-            ("Pretium".to_string(), cmp.profit(&cmp.pretium.outcome) / base),
-            ("PeakOracle".to_string(), cmp.profit(&cmp.peak.outcome) / base),
-            ("VCGLike".to_string(), cmp.profit(&cmp.vcg) / base),
-        ]
-    })
+    use crate::registry::{Fig8Profit, Scale};
+    run_figure_experiment(std::sync::Arc::new(Fig8Profit::new(Scale::Evaluation, loads)), seed)
 }
 
 /// Figure 9: fraction of requests fully completed vs load factor.
+#[deprecated(note = "use registry::Fig9Completion via registry()/run_experiments")]
 pub fn fig9_completion(seed: u64, loads: &[f64]) -> Result<Vec<Series>, SolveError> {
-    sweep_loads(seed, loads, |cmp| {
-        cmp.schemes()
-            .into_iter()
-            .map(|(name, o)| (name.to_string(), o.completion_rate(&cmp.scenario.requests)))
-            .collect()
-    })
-}
-
-/// Shared load sweep.
-fn sweep_loads(
-    seed: u64,
-    loads: &[f64],
-    extract: impl Fn(&Comparison) -> Vec<(String, f64)>,
-) -> Result<Vec<Series>, SolveError> {
-    let mut series: Vec<Series> = Vec::new();
-    for &load in loads {
-        let cmp = compare_schemes(&ScenarioConfig::evaluation(seed, load))?;
-        for (name, y) in extract(&cmp) {
-            match series.iter_mut().find(|s| s.name == name) {
-                Some(s) => s.points.push((load, y)),
-                None => series.push(Series::new(&name, vec![(load, y)])),
-            }
-        }
-    }
-    Ok(series)
+    use crate::registry::{Fig9Completion, Scale};
+    run_figure_experiment(std::sync::Arc::new(Fig9Completion::new(Scale::Evaluation, loads)), seed)
 }
 
 // ---------------------------------------------------------------------------
@@ -248,7 +329,15 @@ fn sweep_loads(
 /// Figure 7a: price and utilization over time on the busiest
 /// percentile-billed link. Returns `(prices, utilizations)` per timestep.
 pub fn fig7a_price_and_utilization(seed: u64) -> Result<(Vec<f64>, Vec<f64>), SolveError> {
-    let scenario = ScenarioConfig::evaluation(seed, 2.0).build();
+    fig7a_price_and_utilization_on(&ScenarioConfig::evaluation(seed, 2.0))
+}
+
+/// [`fig7a_price_and_utilization`] on an explicit scenario config (the
+/// registry runs it at either evaluation or tiny scale).
+pub fn fig7a_price_and_utilization_on(
+    config: &ScenarioConfig,
+) -> Result<(Vec<f64>, Vec<f64>), SolveError> {
+    let scenario = config.build();
     let run = run_pretium(&scenario, PretiumConfig::default(), Variant::Full)?;
     // Busiest percentile edge by carried volume.
     let e = scenario
@@ -269,7 +358,14 @@ pub fn fig7a_price_and_utilization(seed: u64) -> Result<(Vec<f64>, Vec<f64>), So
 /// Figure 7b: total value captured per value-per-unit bucket, relative to
 /// OPT's capture in the same bucket.
 pub fn fig7b_value_buckets(seed: u64) -> Result<(Vec<f64>, Vec<Series>), SolveError> {
-    let cmp = compare_schemes(&ScenarioConfig::evaluation(seed, 2.0))?;
+    fig7b_value_buckets_on(&ScenarioConfig::evaluation(seed, 2.0))
+}
+
+/// [`fig7b_value_buckets`] on an explicit scenario config.
+pub fn fig7b_value_buckets_on(
+    config: &ScenarioConfig,
+) -> Result<(Vec<f64>, Vec<Series>), SolveError> {
+    let cmp = compare_schemes(config)?;
     let max_v = cmp.scenario.requests.iter().map(|r| r.value).fold(0.0f64, f64::max);
     let edges: Vec<f64> = (1..=10).map(|i| max_v * i as f64 / 10.0).collect();
     let opt_buckets = cmp.opt.value_by_bucket(&cmp.scenario.requests, &edges);
@@ -289,7 +385,12 @@ pub fn fig7b_value_buckets(seed: u64) -> Result<(Vec<f64>, Vec<Series>), SolveEr
 /// Figure 7c: per-request `(value per unit, average admission price per
 /// unit)` scatter for Pretium-admitted requests.
 pub fn fig7c_price_vs_value(seed: u64) -> Result<Vec<(f64, f64)>, SolveError> {
-    let scenario = ScenarioConfig::evaluation(seed, 2.0).build();
+    fig7c_price_vs_value_on(&ScenarioConfig::evaluation(seed, 2.0))
+}
+
+/// [`fig7c_price_vs_value`] on an explicit scenario config.
+pub fn fig7c_price_vs_value_on(config: &ScenarioConfig) -> Result<Vec<(f64, f64)>, SolveError> {
+    let scenario = config.build();
     let run = run_pretium(&scenario, PretiumConfig::default(), Variant::Full)?;
     let mut pts = Vec::new();
     for (i, r) in scenario.requests.iter().enumerate() {
@@ -310,7 +411,12 @@ pub fn fig7c_price_vs_value(seed: u64) -> Result<Vec<(f64, f64)>, SolveError> {
 // ---------------------------------------------------------------------------
 
 pub fn fig10_p90_utilization_cdf(seed: u64) -> Result<Vec<Series>, SolveError> {
-    let cmp = compare_schemes(&ScenarioConfig::evaluation(seed, 2.0))?;
+    fig10_p90_utilization_cdf_on(&ScenarioConfig::evaluation(seed, 2.0))
+}
+
+/// [`fig10_p90_utilization_cdf`] on an explicit scenario config.
+pub fn fig10_p90_utilization_cdf_on(config: &ScenarioConfig) -> Result<Vec<Series>, SolveError> {
+    let cmp = compare_schemes(config)?;
     let mut series = Vec::new();
     for (name, o) in cmp.schemes() {
         let mut p90 = o.usage.p90_utilizations(&cmp.scenario.net);
@@ -330,72 +436,23 @@ pub fn fig10_p90_utilization_cdf(seed: u64) -> Result<Vec<Series>, SolveError> {
 // Figure 11 — ablations: Pretium-NoMenu and Pretium-NoSAM.
 // ---------------------------------------------------------------------------
 
+#[deprecated(note = "use registry::Fig11Ablations via registry()/run_experiments")]
 pub fn fig11_ablations(seed: u64, loads: &[f64]) -> Result<Vec<Series>, SolveError> {
-    let mut series: Vec<Series> = Vec::new();
-    for &load in loads {
-        let config = ScenarioConfig::evaluation(seed, load);
-        let scenario = config.build();
-        let off = OfflineConfig::default();
-        let opt = baselines::opt(
-            &scenario.net,
-            &scenario.grid,
-            scenario.horizon,
-            &scenario.requests,
-            &off,
-        )?;
-        let opt_w = opt.welfare(&scenario.requests, &scenario.net, &scenario.grid, 1.0);
-        for variant in [Variant::Full, Variant::NoMenu, Variant::NoSam] {
-            let run = run_pretium(&scenario, PretiumConfig::default(), variant)?;
-            let w =
-                run.outcome.welfare(&scenario.requests, &scenario.net, &scenario.grid, 1.0) / opt_w;
-            match series.iter_mut().find(|s| s.name == variant.label()) {
-                Some(s) => s.points.push((load, w)),
-                None => series.push(Series::new(variant.label(), vec![(load, w)])),
-            }
-        }
-    }
-    Ok(series)
+    use crate::registry::{Fig11Ablations, Scale};
+    run_figure_experiment(std::sync::Arc::new(Fig11Ablations::new(Scale::Evaluation, loads)), seed)
 }
 
 // ---------------------------------------------------------------------------
 // Figure 12 — sensitivity to mean link cost (load factor 1).
 // ---------------------------------------------------------------------------
 
+#[deprecated(note = "use registry::Fig12LinkCost via registry()/run_experiments")]
 pub fn fig12_link_cost(seed: u64, cost_scales: &[f64]) -> Result<Vec<Series>, SolveError> {
-    let mut pretium_series = Series::new("Pretium", Vec::new());
-    let mut region_series = Series::new("RegionOracle", Vec::new());
-    for &scale in cost_scales {
-        let scenario = ScenarioConfig::evaluation(seed, 1.0).build();
-        let off = OfflineConfig { cost_scale: scale, ..Default::default() };
-        let priced = PricedOfflineConfig { cost_scale: scale, ..Default::default() };
-        let opt = baselines::opt(
-            &scenario.net,
-            &scenario.grid,
-            scenario.horizon,
-            &scenario.requests,
-            &off,
-        )?;
-        let opt_w = opt.welfare(&scenario.requests, &scenario.net, &scenario.grid, scale);
-        let pcfg = PretiumConfig { cost_scale: scale, ..Default::default() };
-        let run = run_pretium(&scenario, pcfg, Variant::Full)?;
-        let region = baselines::region_oracle(
-            &scenario.net,
-            &scenario.grid,
-            scenario.horizon,
-            &scenario.requests,
-            &priced,
-        )?;
-        pretium_series.points.push((
-            scale,
-            run.outcome.welfare(&scenario.requests, &scenario.net, &scenario.grid, scale) / opt_w,
-        ));
-        region_series.points.push((
-            scale,
-            region.outcome.welfare(&scenario.requests, &scenario.net, &scenario.grid, scale)
-                / opt_w,
-        ));
-    }
-    Ok(vec![pretium_series, region_series])
+    use crate::registry::{Fig12LinkCost, Scale};
+    run_figure_experiment(
+        std::sync::Arc::new(Fig12LinkCost::new(Scale::Evaluation, cost_scales)),
+        seed,
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -412,63 +469,19 @@ pub struct ValueDistRow {
     pub profit_ratio: f64,
 }
 
+#[deprecated(note = "use registry::Fig13Values via registry()/run_experiments")]
 pub fn fig13_14_value_distributions(
     seed: u64,
     ratios: &[f64],
 ) -> Result<Vec<ValueDistRow>, SolveError> {
-    let mut rows = Vec::new();
-    for &ratio in ratios {
-        // Same mean as the default evaluation workload so only the shape
-        // and spread of the distribution change across rows.
-        for (dist_name, dist) in [
-            ("normal", ValueDist::normal_from_ratio(0.7, ratio)),
-            ("pareto", ValueDist::pareto_from_mean_ratio(0.7, ratio)),
-        ] {
-            let mut config = ScenarioConfig::evaluation(seed, 1.0);
-            config.requests.value_dist = dist;
-            let scenario = config.build();
-            let off = OfflineConfig::default();
-            let priced = PricedOfflineConfig::default();
-            let opt = baselines::opt(
-                &scenario.net,
-                &scenario.grid,
-                scenario.horizon,
-                &scenario.requests,
-                &off,
-            )?;
-            let opt_w = opt.welfare(&scenario.requests, &scenario.net, &scenario.grid, 1.0);
-            let run = run_pretium(&scenario, PretiumConfig::default(), Variant::Full)?;
-            let region = baselines::region_oracle(
-                &scenario.net,
-                &scenario.grid,
-                scenario.horizon,
-                &scenario.requests,
-                &priced,
-            )?;
-            let opt_scale = (opt_w.abs() * 0.01).max(1.0);
-            let region_profit =
-                region.outcome.profit(&scenario.net, &scenario.grid, 1.0).max(opt_scale);
-            rows.push(ValueDistRow {
-                distribution: dist_name.to_string(),
-                mean_over_std: ratio,
-                pretium_welfare: run.outcome.welfare(
-                    &scenario.requests,
-                    &scenario.net,
-                    &scenario.grid,
-                    1.0,
-                ) / opt_w,
-                region_welfare: region.outcome.welfare(
-                    &scenario.requests,
-                    &scenario.net,
-                    &scenario.grid,
-                    1.0,
-                ) / opt_w,
-                profit_ratio: run.outcome.profit(&scenario.net, &scenario.grid, 1.0)
-                    / region_profit,
-            });
-        }
-    }
-    Ok(rows)
+    use crate::registry::{Fig13Values, Scale};
+    let exp = std::sync::Arc::new(Fig13Values::new(Scale::Evaluation, ratios));
+    let (specs, outs) = crate::registry::run_experiment_cells(
+        exp.clone() as std::sync::Arc<dyn crate::registry::Experiment>,
+        seed,
+        crate::par::default_jobs(),
+    )?;
+    Ok(exp.rows(&specs, &outs))
 }
 
 // ---------------------------------------------------------------------------
@@ -503,8 +516,13 @@ impl ModuleRuntimes {
 
 /// Run one Pretium replay, timing each module invocation (Table 4).
 pub fn table4_runtimes(seed: u64, load: f64) -> Result<ModuleRuntimes, SolveError> {
+    table4_runtimes_on(&ScenarioConfig::evaluation(seed, load))
+}
+
+/// [`table4_runtimes`] on an explicit scenario config.
+pub fn table4_runtimes_on(config: &ScenarioConfig) -> Result<ModuleRuntimes, SolveError> {
     use std::time::Instant;
-    let scenario = ScenarioConfig::evaluation(seed, load).build();
+    let scenario = config.build();
     let mut system = pretium_core::Pretium::new(
         scenario.net.clone(),
         scenario.grid,

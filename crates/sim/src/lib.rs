@@ -13,12 +13,16 @@
 
 pub mod experiments;
 pub mod incentives;
+pub mod par;
+pub mod registry;
 pub mod report;
 pub mod runner;
 pub mod scenario;
 
-pub use experiments::{compare_schemes, Comparison};
+pub use experiments::{compare_schemes, compare_schemes_jobs, Comparison};
 pub use incentives::{analyze_deviations, Deviation, DeviationReport};
+pub use par::{default_jobs, run_cells, Cell};
+pub use registry::{registry, Experiment, ExperimentResult, Sweep};
 pub use report::{render_ascii_plot, render_figure, render_table, Series};
 pub use runner::{run_pretium, PretiumRun, Variant};
 pub use scenario::{Scenario, ScenarioConfig};

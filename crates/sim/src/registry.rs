@@ -1,0 +1,1106 @@
+//! Unified experiment registry: every table/figure of the paper's §6
+//! evaluation as one [`Experiment`] behind one API.
+//!
+//! An experiment declares its sweep grid as **data** — a [`Sweep`] of axis
+//! points × schemes, expanded into [`CellSpec`]s — and the parallel engine
+//! ([`crate::par`]) executes the cells on any number of workers. The
+//! pipeline is:
+//!
+//! ```text
+//! Experiment::cells(seed)          // declare the grid (deterministic order)
+//!   -> par::run_cells(jobs, ..)    // execute anywhere, any order
+//!   -> Experiment::merge(..)       // reassemble in declaration order
+//! ```
+//!
+//! Determinism contract: a cell's result is a pure function of its
+//! [`CellSpec`] — the spec carries a seed derived as
+//! `derive_seed(run_seed, cell_label)`, and scenario configs bake their
+//! seeds in at declaration time — so the merged output is bit-identical
+//! across `--jobs` counts. Within one sweep, all schemes at one axis point
+//! share the *same* world (same config seed): schemes must be compared on
+//! identical inputs, so world seeds split per axis point, not per scheme.
+//!
+//! [`registry`] returns the full suite in the paper's order;
+//! `bin/reproduce` enumerates it instead of hard-coding the figure list.
+
+use crate::experiments::{self, ModuleRuntimes, LOAD_FACTORS};
+use crate::par::{self, Cell};
+use crate::report::{render_figure, render_table, Series};
+use crate::runner::{run_pretium, Variant};
+use crate::scenario::ScenarioConfig;
+use pretium_baselines as baselines;
+use pretium_baselines::{OfflineConfig, Outcome, PricedOfflineConfig};
+use pretium_core::{PoolTelemetry, PretiumConfig};
+use pretium_lp::SolveError;
+use pretium_workload::ValueDist;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Cell model.
+// ---------------------------------------------------------------------------
+
+/// Scale at which an experiment builds its worlds: the full evaluation
+/// topology of §6.1, or the 6-node tiny scale used by tests and the CI
+/// smoke run (`reproduce --tiny`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    Evaluation,
+    Tiny,
+}
+
+impl Scale {
+    /// The scenario config for this scale at one `(seed, load)` point.
+    pub fn config(self, seed: u64, load: f64) -> ScenarioConfig {
+        match self {
+            Scale::Evaluation => ScenarioConfig::evaluation(seed, load),
+            Scale::Tiny => {
+                let mut cfg = ScenarioConfig::tiny(seed);
+                cfg.load_factor = load;
+                cfg
+            }
+        }
+    }
+}
+
+/// Which §6.1 scheme a sweep cell solves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// The offline OPT LP (the welfare upper bound everything is plotted
+    /// against).
+    Opt,
+    /// Online Pretium, in one of its Figure-11 ablation variants.
+    Pretium(Variant),
+    NoPrices,
+    RegionOracle,
+    PeakOracle,
+    VcgLike,
+}
+
+impl Scheme {
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::Opt => "OPT",
+            Scheme::Pretium(v) => v.label(),
+            Scheme::NoPrices => "NoPrices",
+            Scheme::RegionOracle => "RegionOracle",
+            Scheme::PeakOracle => "PeakOracle",
+            Scheme::VcgLike => "VCGLike",
+        }
+    }
+}
+
+/// Absolute metrics of one scheme on one scenario; relativization (to OPT,
+/// to RegionOracle) happens at merge time where all cells are visible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metrics {
+    pub welfare: f64,
+    pub profit: f64,
+    pub completion: f64,
+}
+
+/// What one cell carries into `run_cell`.
+#[derive(Debug, Clone)]
+pub enum CellPayload {
+    /// One scheme solve on one scenario (the sweep-grid case).
+    Scheme { config: Box<ScenarioConfig>, scheme: Scheme, cost_scale: f64 },
+    /// Experiment-defined work; `run_cell` dispatches on the cell label
+    /// (single-cell figures like the Figure 1 CDF).
+    Free,
+}
+
+/// One declared unit of parallel work.
+#[derive(Debug, Clone)]
+pub struct CellSpec {
+    /// Unique `experiment/point/scheme` label: names the cell in panics
+    /// and telemetry, and feeds per-cell seed derivation.
+    pub label: String,
+    /// Seed for cell-local randomness, derived as
+    /// `derive_seed(run_seed, label)` — a pure function of the cell, never
+    /// of scheduling.
+    pub seed: u64,
+    /// Axis coordinate the cell contributes to.
+    pub x: f64,
+    pub payload: CellPayload,
+}
+
+/// What one cell computed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellOut {
+    Metrics(Metrics),
+    Text(String),
+}
+
+impl CellOut {
+    fn metrics(&self) -> &Metrics {
+        match self {
+            CellOut::Metrics(m) => m,
+            CellOut::Text(_) => unreachable!("sweep merge over a text cell"),
+        }
+    }
+
+    fn into_text(self) -> String {
+        match self {
+            CellOut::Text(s) => s,
+            CellOut::Metrics(_) => unreachable!("text merge over a metrics cell"),
+        }
+    }
+}
+
+/// Merged output of one experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExperimentResult {
+    /// A figure: named series over one x axis.
+    Figure { title: String, x_label: String, series: Vec<Series> },
+    /// A two-column table.
+    Table { title: String, rows: Vec<(String, String)> },
+    /// A pre-rendered block.
+    Text(String),
+}
+
+impl ExperimentResult {
+    /// Render as the plain-text block `reproduce` prints.
+    pub fn render(&self) -> String {
+        match self {
+            ExperimentResult::Figure { title, x_label, series } => {
+                render_figure(title, x_label, series)
+            }
+            ExperimentResult::Table { title, rows } => render_table(title, rows),
+            ExperimentResult::Text(s) => s.clone(),
+        }
+    }
+
+    /// The series of a figure result (None for tables/text).
+    pub fn series(&self) -> Option<&[Series]> {
+        match self {
+            ExperimentResult::Figure { series, .. } => Some(series),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The Experiment trait.
+// ---------------------------------------------------------------------------
+
+/// One table/figure of the evaluation: a declared cell grid plus the merge
+/// that reassembles cell results — in declaration order, regardless of
+/// completion order — into the figure's series or table rows.
+pub trait Experiment: Send + Sync {
+    /// Registry key (`fig6`, `table4`, ...); what `reproduce` matches
+    /// against.
+    fn name(&self) -> &'static str;
+
+    /// Alternate names that select this experiment (`fig14` -> `fig13`).
+    fn aliases(&self) -> &'static [&'static str] {
+        &[]
+    }
+
+    /// Declare the sweep grid. Order is the declaration order `merge`
+    /// receives results in; it must be deterministic for a given seed.
+    fn cells(&self, seed: u64) -> Vec<CellSpec>;
+
+    /// Execute one cell. Must be a pure function of the spec (plus the
+    /// experiment's own immutable configuration).
+    fn run_cell(&self, cell: &CellSpec) -> Result<CellOut, SolveError>;
+
+    /// Reassemble cell outputs (in declaration order) into the final
+    /// figure/table.
+    fn merge(&self, cells: &[CellSpec], outs: Vec<CellOut>) -> ExperimentResult;
+}
+
+/// Solve one `(scenario, scheme)` cell into absolute [`Metrics`].
+pub fn run_scheme_cell(
+    config: &ScenarioConfig,
+    scheme: Scheme,
+    cost_scale: f64,
+) -> Result<Metrics, SolveError> {
+    let scenario = config.build();
+    let off = OfflineConfig { cost_scale, ..Default::default() };
+    let priced = PricedOfflineConfig { cost_scale, ..Default::default() };
+    let outcome: Outcome = match scheme {
+        Scheme::Opt => baselines::opt(
+            &scenario.net,
+            &scenario.grid,
+            scenario.horizon,
+            &scenario.requests,
+            &off,
+        )?,
+        Scheme::Pretium(variant) => {
+            let cfg = PretiumConfig { cost_scale, ..Default::default() };
+            run_pretium(&scenario, cfg, variant)?.outcome
+        }
+        Scheme::NoPrices => baselines::no_prices(
+            &scenario.net,
+            &scenario.grid,
+            scenario.horizon,
+            &scenario.requests,
+            &off,
+        )?,
+        Scheme::RegionOracle => {
+            baselines::region_oracle(
+                &scenario.net,
+                &scenario.grid,
+                scenario.horizon,
+                &scenario.requests,
+                &priced,
+            )?
+            .outcome
+        }
+        Scheme::PeakOracle => {
+            let peaks = baselines::peak_steps_from_trace(&scenario.trace, &scenario.grid);
+            baselines::peak_oracle(
+                &scenario.net,
+                &scenario.grid,
+                scenario.horizon,
+                &scenario.requests,
+                &peaks,
+                &priced,
+            )?
+            .outcome
+        }
+        Scheme::VcgLike => baselines::vcg_like(
+            &scenario.net,
+            &scenario.grid,
+            scenario.horizon,
+            &scenario.requests,
+            &priced,
+        )?,
+    };
+    Ok(Metrics {
+        welfare: outcome.welfare(&scenario.requests, &scenario.net, &scenario.grid, cost_scale),
+        profit: outcome.profit(&scenario.net, &scenario.grid, cost_scale),
+        completion: outcome.completion_rate(&scenario.requests),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The Sweep builder.
+// ---------------------------------------------------------------------------
+
+/// A declarative sweep: axis points × schemes, expanded into cells.
+///
+/// `P` is the axis-point payload — `f64` for the load and cost-scale
+/// axes, `(f64, ValueKind)` for the Figure 13/14 value-distribution grid.
+/// Axes are data here, not copied loops: an experiment lists its points
+/// and schemes once, and `cells()` produces the cross product in
+/// declaration order (points outer, schemes inner).
+pub struct Sweep<P> {
+    pub experiment: &'static str,
+    pub scale: Scale,
+    pub points: Vec<P>,
+    pub schemes: Vec<Scheme>,
+    /// `(point label, axis coordinate)` of one point.
+    pub describe: fn(&P) -> (String, f64),
+    /// Scenario at one point (seed baked in, shared by every scheme at the
+    /// point — schemes must replay identical worlds to be comparable).
+    pub configure: fn(Scale, u64, &P) -> ScenarioConfig,
+    /// §6.2 cost multiplier at one point (1.0 everywhere else).
+    pub cost_scale: fn(&P) -> f64,
+}
+
+fn unit_cost<P>(_: &P) -> f64 {
+    1.0
+}
+
+impl<P> Sweep<P> {
+    pub fn new(
+        experiment: &'static str,
+        scale: Scale,
+        points: Vec<P>,
+        schemes: Vec<Scheme>,
+        describe: fn(&P) -> (String, f64),
+        configure: fn(Scale, u64, &P) -> ScenarioConfig,
+    ) -> Self {
+        Sweep { experiment, scale, points, schemes, describe, configure, cost_scale: unit_cost }
+    }
+
+    pub fn with_cost_scale(mut self, f: fn(&P) -> f64) -> Self {
+        self.cost_scale = f;
+        self
+    }
+
+    /// Expand the grid: one cell per `(point, scheme)`, in declaration
+    /// order.
+    pub fn cells(&self, seed: u64) -> Vec<CellSpec> {
+        let mut cells = Vec::with_capacity(self.points.len() * self.schemes.len());
+        for p in &self.points {
+            let (point_label, x) = (self.describe)(p);
+            let config = (self.configure)(self.scale, seed, p);
+            let cost_scale = (self.cost_scale)(p);
+            for &scheme in &self.schemes {
+                let label = format!("{}/{}/{}", self.experiment, point_label, scheme.label());
+                cells.push(CellSpec {
+                    seed: rand::derive_seed(seed, &label),
+                    label,
+                    x,
+                    payload: CellPayload::Scheme {
+                        config: Box::new(config.clone()),
+                        scheme,
+                        cost_scale,
+                    },
+                });
+            }
+        }
+        cells
+    }
+
+    /// Execute one of this sweep's cells.
+    pub fn run_cell(&self, cell: &CellSpec) -> Result<CellOut, SolveError> {
+        match &cell.payload {
+            CellPayload::Scheme { config, scheme, cost_scale } => {
+                run_scheme_cell(config, *scheme, *cost_scale).map(CellOut::Metrics)
+            }
+            CellPayload::Free => unreachable!("sweep experiments declare scheme cells only"),
+        }
+    }
+
+    /// Iterate merge results chunked per axis point: for each point, the
+    /// slice of `(cell, out)` pairs in scheme-declaration order.
+    fn per_point<'a>(
+        &self,
+        cells: &'a [CellSpec],
+        outs: &'a [CellOut],
+    ) -> impl Iterator<Item = (f64, &'a [CellSpec], &'a [CellOut])> {
+        let k = self.schemes.len().max(1);
+        cells
+            .chunks(k)
+            .zip(outs.chunks(k))
+            .map(|(c, o)| (c[0].x, c, o))
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+}
+
+/// Append `(x, y)` to the series called `name`, creating it on first use
+/// (series appear in first-contribution order, which is declaration
+/// order).
+fn push_point(series: &mut Vec<Series>, name: &str, x: f64, y: f64) {
+    match series.iter_mut().find(|s| s.name == name) {
+        Some(s) => s.points.push((x, y)),
+        None => series.push(Series::new(name, vec![(x, y)])),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sweep experiments (figures 6, 8, 9, 11, 12, 13/14).
+// ---------------------------------------------------------------------------
+
+/// Figure 6: welfare relative to OPT vs load factor, for every scheme.
+pub struct Fig6Welfare {
+    sweep: Sweep<f64>,
+}
+
+fn load_point(p: &f64) -> (String, f64) {
+    (format!("load={p}"), *p)
+}
+
+fn load_config(scale: Scale, seed: u64, p: &f64) -> ScenarioConfig {
+    scale.config(seed, *p)
+}
+
+impl Fig6Welfare {
+    pub fn new(scale: Scale, loads: &[f64]) -> Self {
+        let schemes = vec![
+            Scheme::Opt,
+            Scheme::Pretium(Variant::Full),
+            Scheme::NoPrices,
+            Scheme::RegionOracle,
+            Scheme::PeakOracle,
+            Scheme::VcgLike,
+        ];
+        Fig6Welfare {
+            sweep: Sweep::new("fig6", scale, loads.to_vec(), schemes, load_point, load_config),
+        }
+    }
+}
+
+impl Experiment for Fig6Welfare {
+    fn name(&self) -> &'static str {
+        "fig6"
+    }
+
+    fn cells(&self, seed: u64) -> Vec<CellSpec> {
+        self.sweep.cells(seed)
+    }
+
+    fn run_cell(&self, cell: &CellSpec) -> Result<CellOut, SolveError> {
+        self.sweep.run_cell(cell)
+    }
+
+    fn merge(&self, cells: &[CellSpec], outs: Vec<CellOut>) -> ExperimentResult {
+        let mut series: Vec<Series> = Vec::new();
+        for (x, _, point_outs) in self.sweep.per_point(cells, &outs) {
+            let opt = point_outs[0].metrics().welfare;
+            for (scheme, out) in self.sweep.schemes[1..].iter().zip(&point_outs[1..]) {
+                push_point(&mut series, scheme.label(), x, out.metrics().welfare / opt);
+            }
+        }
+        ExperimentResult::Figure {
+            title: "Figure 6: welfare relative to OPT".into(),
+            x_label: "load".into(),
+            series,
+        }
+    }
+}
+
+/// Figure 8: provider profit relative to RegionOracle vs load factor.
+/// When RegionOracle's profit is near zero the ratio is meaningless, so
+/// the denominator is floored at 1% of OPT welfare (ratios then read as
+/// "profit in units of 1% of achievable welfare").
+pub struct Fig8Profit {
+    sweep: Sweep<f64>,
+}
+
+impl Fig8Profit {
+    pub fn new(scale: Scale, loads: &[f64]) -> Self {
+        let schemes = vec![
+            Scheme::Opt,
+            Scheme::RegionOracle,
+            Scheme::Pretium(Variant::Full),
+            Scheme::PeakOracle,
+            Scheme::VcgLike,
+        ];
+        Fig8Profit {
+            sweep: Sweep::new("fig8", scale, loads.to_vec(), schemes, load_point, load_config),
+        }
+    }
+}
+
+impl Experiment for Fig8Profit {
+    fn name(&self) -> &'static str {
+        "fig8"
+    }
+
+    fn cells(&self, seed: u64) -> Vec<CellSpec> {
+        self.sweep.cells(seed)
+    }
+
+    fn run_cell(&self, cell: &CellSpec) -> Result<CellOut, SolveError> {
+        self.sweep.run_cell(cell)
+    }
+
+    fn merge(&self, cells: &[CellSpec], outs: Vec<CellOut>) -> ExperimentResult {
+        let mut series: Vec<Series> = Vec::new();
+        for (x, _, point_outs) in self.sweep.per_point(cells, &outs) {
+            let floor = (point_outs[0].metrics().welfare.abs() * 0.01).max(1.0);
+            let base = point_outs[1].metrics().profit.max(floor);
+            for (scheme, out) in self.sweep.schemes[2..].iter().zip(&point_outs[2..]) {
+                push_point(&mut series, scheme.label(), x, out.metrics().profit / base);
+            }
+        }
+        ExperimentResult::Figure {
+            title: "Figure 8: profit relative to RegionOracle".into(),
+            x_label: "load".into(),
+            series,
+        }
+    }
+}
+
+/// Figure 9: fraction of requests fully completed vs load factor.
+pub struct Fig9Completion {
+    sweep: Sweep<f64>,
+}
+
+impl Fig9Completion {
+    pub fn new(scale: Scale, loads: &[f64]) -> Self {
+        let schemes = vec![
+            Scheme::Pretium(Variant::Full),
+            Scheme::NoPrices,
+            Scheme::RegionOracle,
+            Scheme::PeakOracle,
+            Scheme::VcgLike,
+        ];
+        Fig9Completion {
+            sweep: Sweep::new("fig9", scale, loads.to_vec(), schemes, load_point, load_config),
+        }
+    }
+}
+
+impl Experiment for Fig9Completion {
+    fn name(&self) -> &'static str {
+        "fig9"
+    }
+
+    fn cells(&self, seed: u64) -> Vec<CellSpec> {
+        self.sweep.cells(seed)
+    }
+
+    fn run_cell(&self, cell: &CellSpec) -> Result<CellOut, SolveError> {
+        self.sweep.run_cell(cell)
+    }
+
+    fn merge(&self, cells: &[CellSpec], outs: Vec<CellOut>) -> ExperimentResult {
+        let mut series: Vec<Series> = Vec::new();
+        for (x, _, point_outs) in self.sweep.per_point(cells, &outs) {
+            for (scheme, out) in self.sweep.schemes.iter().zip(point_outs) {
+                push_point(&mut series, scheme.label(), x, out.metrics().completion);
+            }
+        }
+        ExperimentResult::Figure {
+            title: "Figure 9: fraction of requests completed".into(),
+            x_label: "load".into(),
+            series,
+        }
+    }
+}
+
+/// Figure 11 — ablations: Pretium-NoMenu and Pretium-NoSAM vs full.
+pub struct Fig11Ablations {
+    sweep: Sweep<f64>,
+}
+
+impl Fig11Ablations {
+    pub fn new(scale: Scale, loads: &[f64]) -> Self {
+        let schemes = vec![
+            Scheme::Opt,
+            Scheme::Pretium(Variant::Full),
+            Scheme::Pretium(Variant::NoMenu),
+            Scheme::Pretium(Variant::NoSam),
+        ];
+        Fig11Ablations {
+            sweep: Sweep::new("fig11", scale, loads.to_vec(), schemes, load_point, load_config),
+        }
+    }
+}
+
+impl Experiment for Fig11Ablations {
+    fn name(&self) -> &'static str {
+        "fig11"
+    }
+
+    fn cells(&self, seed: u64) -> Vec<CellSpec> {
+        self.sweep.cells(seed)
+    }
+
+    fn run_cell(&self, cell: &CellSpec) -> Result<CellOut, SolveError> {
+        self.sweep.run_cell(cell)
+    }
+
+    fn merge(&self, cells: &[CellSpec], outs: Vec<CellOut>) -> ExperimentResult {
+        let mut series: Vec<Series> = Vec::new();
+        for (x, _, point_outs) in self.sweep.per_point(cells, &outs) {
+            let opt = point_outs[0].metrics().welfare;
+            for (scheme, out) in self.sweep.schemes[1..].iter().zip(&point_outs[1..]) {
+                push_point(&mut series, scheme.label(), x, out.metrics().welfare / opt);
+            }
+        }
+        ExperimentResult::Figure {
+            title: "Figure 11: Pretium ablations (rel. OPT)".into(),
+            x_label: "load".into(),
+            series,
+        }
+    }
+}
+
+/// Figure 12 — sensitivity to mean link cost (load factor 1).
+pub struct Fig12LinkCost {
+    sweep: Sweep<f64>,
+}
+
+fn scale_point(p: &f64) -> (String, f64) {
+    (format!("cost={p}"), *p)
+}
+
+fn unit_load_config(scale: Scale, seed: u64, _p: &f64) -> ScenarioConfig {
+    scale.config(seed, 1.0)
+}
+
+fn identity_cost(p: &f64) -> f64 {
+    *p
+}
+
+impl Fig12LinkCost {
+    pub fn new(scale: Scale, cost_scales: &[f64]) -> Self {
+        let schemes = vec![Scheme::Opt, Scheme::Pretium(Variant::Full), Scheme::RegionOracle];
+        Fig12LinkCost {
+            sweep: Sweep::new(
+                "fig12",
+                scale,
+                cost_scales.to_vec(),
+                schemes,
+                scale_point,
+                unit_load_config,
+            )
+            .with_cost_scale(identity_cost),
+        }
+    }
+}
+
+impl Experiment for Fig12LinkCost {
+    fn name(&self) -> &'static str {
+        "fig12"
+    }
+
+    fn cells(&self, seed: u64) -> Vec<CellSpec> {
+        self.sweep.cells(seed)
+    }
+
+    fn run_cell(&self, cell: &CellSpec) -> Result<CellOut, SolveError> {
+        self.sweep.run_cell(cell)
+    }
+
+    fn merge(&self, cells: &[CellSpec], outs: Vec<CellOut>) -> ExperimentResult {
+        let mut series: Vec<Series> = Vec::new();
+        for (x, _, point_outs) in self.sweep.per_point(cells, &outs) {
+            let opt = point_outs[0].metrics().welfare;
+            for (scheme, out) in self.sweep.schemes[1..].iter().zip(&point_outs[1..]) {
+                push_point(&mut series, scheme.label(), x, out.metrics().welfare / opt);
+            }
+        }
+        ExperimentResult::Figure {
+            title: "Figure 12: welfare vs mean link cost (load 1)".into(),
+            x_label: "cost scale".into(),
+            series,
+        }
+    }
+}
+
+/// Value-distribution families swept by Figures 13/14.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueKind {
+    Normal,
+    Pareto,
+}
+
+impl ValueKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            ValueKind::Normal => "normal",
+            ValueKind::Pareto => "pareto",
+        }
+    }
+
+    /// The distribution at the evaluation workload's mean with the given
+    /// `μ/σ` ratio (only shape and spread change across the sweep).
+    pub fn dist(self, mean: f64, ratio: f64) -> ValueDist {
+        match self {
+            ValueKind::Normal => ValueDist::normal_from_ratio(mean, ratio),
+            ValueKind::Pareto => ValueDist::pareto_from_mean_ratio(mean, ratio),
+        }
+    }
+}
+
+/// Figures 13/14 — sensitivity to the request-value distribution (load 1).
+pub struct Fig13Values {
+    sweep: Sweep<(f64, ValueKind)>,
+}
+
+fn value_point(p: &(f64, ValueKind)) -> (String, f64) {
+    (format!("{}-ratio={}", p.1.label(), p.0), p.0)
+}
+
+fn value_config(scale: Scale, seed: u64, p: &(f64, ValueKind)) -> ScenarioConfig {
+    let mut config = scale.config(seed, 1.0);
+    config.requests.value_dist = p.1.dist(0.7, p.0);
+    config
+}
+
+impl Fig13Values {
+    pub fn new(scale: Scale, ratios: &[f64]) -> Self {
+        let points: Vec<(f64, ValueKind)> =
+            ratios.iter().flat_map(|&r| [(r, ValueKind::Normal), (r, ValueKind::Pareto)]).collect();
+        let schemes = vec![Scheme::Opt, Scheme::Pretium(Variant::Full), Scheme::RegionOracle];
+        Fig13Values {
+            sweep: Sweep::new("fig13", scale, points, schemes, value_point, value_config),
+        }
+    }
+
+    /// The typed rows (shared by [`Experiment::merge`] and the deprecated
+    /// `fig13_14_value_distributions` wrapper).
+    pub fn rows(&self, cells: &[CellSpec], outs: &[CellOut]) -> Vec<experiments::ValueDistRow> {
+        self.sweep
+            .per_point(cells, outs)
+            .zip(&self.sweep.points)
+            .map(|((ratio, _, point_outs), &(_, kind))| {
+                let opt_w = point_outs[0].metrics().welfare;
+                let pretium = point_outs[1].metrics();
+                let region = point_outs[2].metrics();
+                let opt_scale = (opt_w.abs() * 0.01).max(1.0);
+                let region_profit = region.profit.max(opt_scale);
+                experiments::ValueDistRow {
+                    distribution: kind.label().to_string(),
+                    mean_over_std: ratio,
+                    pretium_welfare: pretium.welfare / opt_w,
+                    region_welfare: region.welfare / opt_w,
+                    profit_ratio: pretium.profit / region_profit,
+                }
+            })
+            .collect()
+    }
+}
+
+impl Experiment for Fig13Values {
+    fn name(&self) -> &'static str {
+        "fig13"
+    }
+
+    fn aliases(&self) -> &'static [&'static str] {
+        &["fig14"]
+    }
+
+    fn cells(&self, seed: u64) -> Vec<CellSpec> {
+        self.sweep.cells(seed)
+    }
+
+    fn run_cell(&self, cell: &CellSpec) -> Result<CellOut, SolveError> {
+        self.sweep.run_cell(cell)
+    }
+
+    fn merge(&self, cells: &[CellSpec], outs: Vec<CellOut>) -> ExperimentResult {
+        let rows = self
+            .rows(cells, &outs)
+            .into_iter()
+            .map(|r| {
+                (
+                    format!("{} mu/sigma={}", r.distribution, r.mean_over_std),
+                    format!(
+                        "Pretium={:.3} Region={:.3} profit_ratio={:.2}",
+                        r.pretium_welfare, r.region_welfare, r.profit_ratio
+                    ),
+                )
+            })
+            .collect();
+        ExperimentResult::Table {
+            title: "Figures 13/14: value-distribution sensitivity (rel. OPT)".into(),
+            rows,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Single-cell (text) experiments.
+// ---------------------------------------------------------------------------
+
+/// An experiment whose cells each render one text block (Figure 1's CDF,
+/// Table 1, the Figure 7 trio, ...). The cells still flow through the
+/// parallel engine, so e.g. Figure 7's three panels solve concurrently
+/// with every other selected experiment's cells.
+pub struct TextExperiment {
+    name: &'static str,
+    aliases: &'static [&'static str],
+    scale: Scale,
+    /// One cell per part; the part name disambiguates `run_cell`.
+    parts: &'static [&'static str],
+    run: fn(Scale, u64, &str) -> Result<String, SolveError>,
+}
+
+impl TextExperiment {
+    pub fn new(
+        name: &'static str,
+        aliases: &'static [&'static str],
+        scale: Scale,
+        parts: &'static [&'static str],
+        run: fn(Scale, u64, &str) -> Result<String, SolveError>,
+    ) -> Self {
+        TextExperiment { name, aliases, scale, parts, run }
+    }
+}
+
+impl Experiment for TextExperiment {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn aliases(&self) -> &'static [&'static str] {
+        self.aliases
+    }
+
+    fn cells(&self, seed: u64) -> Vec<CellSpec> {
+        self.parts
+            .iter()
+            .map(|part| {
+                let label = if part.is_empty() {
+                    self.name.to_string()
+                } else {
+                    format!("{}/{part}", self.name)
+                };
+                CellSpec {
+                    seed: rand::derive_seed(seed, &label),
+                    label,
+                    x: 0.0,
+                    payload: CellPayload::Free,
+                }
+            })
+            .collect()
+    }
+
+    fn run_cell(&self, cell: &CellSpec) -> Result<CellOut, SolveError> {
+        let part = cell.label.rsplit('/').next().unwrap_or("");
+        let part = if part == self.name { "" } else { part };
+        (self.run)(self.scale, cell.seed, part).map(CellOut::Text)
+    }
+
+    fn merge(&self, _cells: &[CellSpec], outs: Vec<CellOut>) -> ExperimentResult {
+        ExperimentResult::Text(
+            outs.into_iter().map(CellOut::into_text).collect::<Vec<_>>().join(""),
+        )
+    }
+}
+
+fn run_table1(_scale: Scale, _seed: u64, _part: &str) -> Result<String, SolveError> {
+    Ok(pretium_workload::survey::format_table1())
+}
+
+fn run_fig1(_scale: Scale, seed: u64, _part: &str) -> Result<String, SolveError> {
+    let cdf = experiments::fig1_utilization_ratio_cdf(seed);
+    let series = vec![Series::new("CDF", cdf)];
+    Ok(render_figure("Figure 1: CDF of p90/p10 link-utilization ratio", "ratio", &series))
+}
+
+fn run_fig2(_scale: Scale, _seed: u64, _part: &str) -> Result<String, SolveError> {
+    Ok("Figure 2: see `cargo run --release --example paper_example`\n".to_string())
+}
+
+fn run_fig5(_scale: Scale, seed: u64, _part: &str) -> Result<String, SolveError> {
+    let fits = experiments::fig5_topk_proxy(seed);
+    let rows: Vec<(String, String)> = fits
+        .iter()
+        .map(|f| {
+            (
+                f.distribution.clone(),
+                format!(
+                    "pearson={:.4} slope={:.3} intercept={:.3}",
+                    f.pearson, f.slope, f.intercept
+                ),
+            )
+        })
+        .collect();
+    Ok(render_table("Figure 5: z_e (top-10% mean) vs y_e (95th pct)", &rows))
+}
+
+fn run_fig7(scale: Scale, seed: u64, part: &str) -> Result<String, SolveError> {
+    let config = scale.config(seed, 2.0);
+    match part {
+        "a" => {
+            let (prices, util) = experiments::fig7a_price_and_utilization_on(&config)?;
+            let series = vec![
+                Series::new(
+                    "price",
+                    prices.iter().enumerate().map(|(t, &p)| (t as f64, p)).collect(),
+                ),
+                Series::new(
+                    "utilization",
+                    util.iter().enumerate().map(|(t, &u)| (t as f64, u)).collect(),
+                ),
+            ];
+            Ok(render_figure(
+                "Figure 7a: price & utilization over time (busiest pct link)",
+                "t",
+                &series,
+            ))
+        }
+        "b" => {
+            let (_, series) = experiments::fig7b_value_buckets_on(&config)?;
+            Ok(render_figure(
+                "Figure 7b: value captured per value bucket (rel. OPT)",
+                "bucket<=",
+                &series,
+            ))
+        }
+        "c" => {
+            let pts = experiments::fig7c_price_vs_value_on(&config)?;
+            Ok(crate::report::render_ascii_plot(
+                "Figure 7c: admission price vs request value",
+                &pts,
+                60,
+                14,
+            ))
+        }
+        other => unreachable!("unknown fig7 part {other}"),
+    }
+}
+
+fn run_fig10(scale: Scale, seed: u64, _part: &str) -> Result<String, SolveError> {
+    let config = scale.config(seed, 2.0);
+    let series = experiments::fig10_p90_utilization_cdf_on(&config)?;
+    Ok(render_figure("Figure 10: CDF of per-link p90 utilization", "p90 util", &series))
+}
+
+fn run_table4(scale: Scale, seed: u64, _part: &str) -> Result<String, SolveError> {
+    let config = scale.config(seed, 2.0);
+    let rt = experiments::table4_runtimes_on(&config)?;
+    let timing = |name: &str, samples: &[f64]| {
+        (
+            name.to_string(),
+            format!(
+                "median {:.4}s  p95 {:.4}s",
+                ModuleRuntimes::median(samples),
+                ModuleRuntimes::p95(samples)
+            ),
+        )
+    };
+    let rows = vec![
+        timing("RA (per request)", &rt.ra),
+        timing("SAM (per timestep)", &rt.sam),
+        timing("PC (per window)", &rt.pc),
+    ];
+    Ok(render_table("Table 4: module runtimes", &rows))
+}
+
+fn run_incentives(scale: Scale, seed: u64, _part: &str) -> Result<String, SolveError> {
+    use crate::incentives::{analyze_deviations, Deviation};
+    let sc = scale.config(seed, 1.0).build();
+    let report = analyze_deviations(
+        &sc,
+        &PretiumConfig::default(),
+        &[Deviation::LaterDeadline(2), Deviation::TighterDeadline(1), Deviation::Split],
+        12,
+    )?;
+    let rows = vec![
+        ("sampled users".to_string(), report.sampled.to_string()),
+        ("simulated deviations".to_string(), report.simulated.to_string()),
+        (
+            "could gain (paper: <26%)".to_string(),
+            format!("{} ({:.0}%)", report.gainers, 100.0 * report.gainer_fraction()),
+        ),
+        (
+            "avg gain when gaining (paper: <6%)".to_string(),
+            format!("{:.1}%", 100.0 * report.avg_gain),
+        ),
+        ("max gain".to_string(), format!("{:.1}%", 100.0 * report.max_gain)),
+    ];
+    Ok(render_table("Section 5: deviation study", &rows))
+}
+
+// ---------------------------------------------------------------------------
+// The registry and the parallel suite runner.
+// ---------------------------------------------------------------------------
+
+/// Every experiment of the evaluation, in the paper's order, at the full
+/// evaluation scale.
+pub fn registry() -> Vec<Arc<dyn Experiment>> {
+    registry_at(Scale::Evaluation)
+}
+
+/// The full suite at an explicit scale (`Scale::Tiny` for tests and the CI
+/// smoke run).
+pub fn registry_at(scale: Scale) -> Vec<Arc<dyn Experiment>> {
+    vec![
+        Arc::new(TextExperiment::new("table1", &[], scale, &[""], run_table1)),
+        Arc::new(TextExperiment::new("fig1", &[], scale, &[""], run_fig1)),
+        Arc::new(TextExperiment::new("fig2", &[], scale, &[""], run_fig2)),
+        Arc::new(TextExperiment::new("fig5", &[], scale, &[""], run_fig5)),
+        Arc::new(Fig6Welfare::new(scale, &LOAD_FACTORS)),
+        Arc::new(TextExperiment::new(
+            "fig7",
+            &["fig7a", "fig7b", "fig7c"],
+            scale,
+            &["a", "b", "c"],
+            run_fig7,
+        )),
+        Arc::new(Fig8Profit::new(scale, &LOAD_FACTORS)),
+        Arc::new(Fig9Completion::new(scale, &LOAD_FACTORS)),
+        Arc::new(TextExperiment::new("fig10", &[], scale, &[""], run_fig10)),
+        Arc::new(Fig11Ablations::new(scale, &LOAD_FACTORS)),
+        Arc::new(Fig12LinkCost::new(scale, &[1.0, 1.4, 1.8, 2.2])),
+        Arc::new(Fig13Values::new(scale, &[1.0, 2.0, 4.0])),
+        Arc::new(TextExperiment::new("table4", &[], scale, &[""], run_table4)),
+        Arc::new(TextExperiment::new("incentives", &[], scale, &[""], run_incentives)),
+    ]
+}
+
+/// Run one experiment's cells on the engine and return `(specs, outs)` in
+/// declaration order — for callers that want a typed merge (the deprecated
+/// figure wrappers) rather than the rendered [`ExperimentResult`].
+pub fn run_experiment_cells(
+    exp: Arc<dyn Experiment>,
+    seed: u64,
+    jobs: usize,
+) -> Result<(Vec<CellSpec>, Vec<CellOut>), SolveError> {
+    let specs = exp.cells(seed);
+    let cells = specs
+        .iter()
+        .map(|spec| {
+            let exp = Arc::clone(&exp);
+            let spec = spec.clone();
+            Cell::new(spec.label.clone(), move || exp.run_cell(&spec))
+        })
+        .collect();
+    let (results, _telemetry) = par::run_cells(jobs, cells);
+    let outs = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+    Ok((specs, outs))
+}
+
+/// Run a set of experiments through one shared worker pool.
+///
+/// All experiments' cells are flattened into a single batch, so slow
+/// single-cell figures overlap with wide sweeps instead of serializing the
+/// suite; results are regrouped per experiment and merged in registry
+/// order. Returns each experiment's merged result plus the pool telemetry
+/// of the whole batch.
+pub fn run_experiments(
+    experiments: &[Arc<dyn Experiment>],
+    seed: u64,
+    jobs: usize,
+) -> Result<(Vec<(String, ExperimentResult)>, PoolTelemetry), SolveError> {
+    let mut all_cells: Vec<Cell<(usize, CellOut), SolveError>> = Vec::new();
+    let mut specs: Vec<Vec<CellSpec>> = Vec::with_capacity(experiments.len());
+    for (i, exp) in experiments.iter().enumerate() {
+        let exp_cells = exp.cells(seed);
+        for spec in &exp_cells {
+            let exp = Arc::clone(exp);
+            let spec = spec.clone();
+            all_cells
+                .push(Cell::new(spec.label.clone(), move || exp.run_cell(&spec).map(|o| (i, o))));
+        }
+        specs.push(exp_cells);
+    }
+    let (results, telemetry) = par::run_cells(jobs, all_cells);
+    let mut outs: Vec<Vec<CellOut>> = experiments.iter().map(|_| Vec::new()).collect();
+    // Results arrive in declaration order, so per-experiment groups stay in
+    // their own declaration order too.
+    for r in results {
+        let (i, out) = r?;
+        outs[i].push(out);
+    }
+    let merged = experiments
+        .iter()
+        .zip(specs.iter())
+        .zip(outs)
+        .map(|((exp, spec), out)| (exp.name().to_string(), exp.merge(spec, out)))
+        .collect();
+    Ok((merged, telemetry))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_paper_ordered() {
+        let reg = registry();
+        let names: Vec<&str> = reg.iter().map(|e| e.name()).collect();
+        assert_eq!(names[0], "table1");
+        assert!(names.contains(&"fig6"));
+        assert!(names.contains(&"incentives"));
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate registry names: {names:?}");
+    }
+
+    #[test]
+    fn sweep_cells_expand_points_times_schemes_in_order() {
+        let exp = Fig6Welfare::new(Scale::Tiny, &[0.5, 1.0]);
+        let cells = exp.cells(rand::DEFAULT_SEED);
+        assert_eq!(cells.len(), 2 * 6);
+        assert!(cells[0].label.contains("load=0.5"));
+        assert!(cells[0].label.ends_with("OPT"));
+        assert!(cells[6].label.contains("load=1"));
+        // Per-cell seeds are pure functions of the label.
+        let again = exp.cells(rand::DEFAULT_SEED);
+        assert_eq!(cells[3].seed, again[3].seed);
+        assert_ne!(cells[0].seed, cells[1].seed);
+    }
+
+    #[test]
+    fn cell_labels_are_unique_across_the_registry() {
+        let reg = registry_at(Scale::Tiny);
+        let mut labels: Vec<String> =
+            reg.iter().flat_map(|e| e.cells(3)).map(|c| c.label).collect();
+        let n = labels.len();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), n);
+    }
+}

@@ -3,11 +3,11 @@
 //! directly — plus the structured telemetry/audit section of a live
 //! Pretium run.
 
-use pretium_core::{Auditor, Telemetry};
+use pretium_core::{Auditor, PoolTelemetry, Telemetry};
 use std::fmt::Write as _;
 
 /// A named series of `(x, y)` points (one line in a figure).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     pub name: String,
     pub points: Vec<(f64, f64)>,
@@ -78,6 +78,12 @@ pub fn render_telemetry(title: &str, telemetry: &Telemetry, audit: Option<&Audit
         }
     }
     out
+}
+
+/// Render the parallel engine's pool counters: worker count, per-cell
+/// wall-clock distribution, steal traffic, and occupancy.
+pub fn render_pool(title: &str, pool: &PoolTelemetry) -> String {
+    render_table(title, &pool.rows())
 }
 
 /// Render an ASCII sparkline-style CDF/series plot (terminal friendly).

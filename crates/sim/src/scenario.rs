@@ -5,6 +5,7 @@ use pretium_net::{topology, Network, TimeGrid};
 use pretium_workload::{
     generate_requests, generate_trace, Request, RequestConfig, TrafficConfig, TrafficTrace,
 };
+use rand::derive_seed;
 
 /// Everything needed to run one experiment.
 #[derive(Debug, Clone)]
@@ -58,13 +59,13 @@ impl ScenarioConfig {
             windows: 2,
             traffic: TrafficConfig {
                 pair_activity: 0.2,
-                seed: seed.wrapping_add(1),
+                seed: derive_seed(seed, "traffic"),
                 ..Default::default()
             },
             requests: RequestConfig {
                 requests_per_pair_window: 1.5,
                 max_window: 8,
-                seed: seed.wrapping_add(2),
+                seed: derive_seed(seed, "requests"),
                 ..Default::default()
             },
             load_factor: 1.0,
@@ -103,7 +104,7 @@ impl ScenarioConfig {
                 // percentile ratios spanning two orders of magnitude).
                 heterogeneity: 1.8,
                 flash_crowd_rate: 0.25,
-                seed: seed.wrapping_add(1),
+                seed: derive_seed(seed, "traffic"),
                 ..Default::default()
             },
             requests: RequestConfig {
@@ -114,7 +115,7 @@ impl ScenarioConfig {
                 // welfare while value-aware ones selectively admit.
                 value_dist: pretium_workload::ValueDist::Exponential { mean: 0.7 },
                 laxity_tight: (1.0, 1.5),
-                seed: seed.wrapping_add(2),
+                seed: derive_seed(seed, "requests"),
                 ..Default::default()
             },
             load_factor,

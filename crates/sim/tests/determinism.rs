@@ -1,0 +1,87 @@
+//! Determinism contract of the parallel evaluation engine.
+//!
+//! Cell results are pure functions of the cell spec (config + derived
+//! seed); the worker count only changes wall-clock. These tests pin that
+//! contract: running the same experiment serially, with `--jobs 1`, and
+//! with `--jobs 8` must produce bit-identical outputs.
+
+use pretium_sim::registry::{registry_at, run_experiments, Scale};
+use pretium_sim::{compare_schemes, compare_schemes_jobs, Comparison, ScenarioConfig};
+
+/// Every float the schemes produce, flattened so `Vec<f64>` equality is a
+/// bitwise comparison of the full comparison result.
+fn fingerprint(c: &Comparison) -> Vec<f64> {
+    let mut fp = Vec::new();
+    for o in [&c.opt, &c.pretium.outcome, &c.no_prices, &c.region.outcome, &c.peak.outcome, &c.vcg]
+    {
+        fp.extend_from_slice(&o.delivered);
+        fp.extend_from_slice(&o.payments);
+        fp.extend(o.admitted.iter().map(|&a| a as u8 as f64));
+        fp.push(c.welfare(o));
+    }
+    fp.push(c.region.intra_price);
+    fp.push(c.region.inter_price);
+    fp
+}
+
+#[test]
+fn compare_schemes_is_bit_identical_across_job_counts() {
+    let cfg = ScenarioConfig::tiny(rand::DEFAULT_SEED);
+    let serial = compare_schemes(&cfg).expect("serial run");
+    let one = compare_schemes_jobs(&cfg, 1).expect("jobs=1 run");
+    let eight = compare_schemes_jobs(&cfg, 8).expect("jobs=8 run");
+    let want = fingerprint(&serial);
+    assert!(!want.is_empty());
+    assert_eq!(want, fingerprint(&one), "jobs=1 diverged from serial");
+    assert_eq!(want, fingerprint(&eight), "jobs=8 diverged from serial");
+}
+
+#[test]
+fn registry_experiments_are_bit_identical_across_job_counts() {
+    // Two sweep experiments — a relative-welfare figure and the value
+    // distribution table — exercised through the same registry path
+    // `reproduce` uses, at tiny scale so debug-mode test time stays low.
+    let selected: Vec<_> = registry_at(Scale::Tiny)
+        .into_iter()
+        .filter(|e| e.name() == "fig6" || e.name() == "fig13")
+        .collect();
+    assert_eq!(selected.len(), 2, "expected both registry experiments");
+
+    let (one, _) = run_experiments(&selected, rand::DEFAULT_SEED, 1).expect("jobs=1 run");
+    let (eight, _) = run_experiments(&selected, rand::DEFAULT_SEED, 8).expect("jobs=8 run");
+    assert_eq!(one.len(), 2);
+    for ((name_a, res_a), (name_b, res_b)) in one.iter().zip(eight.iter()) {
+        assert_eq!(name_a, name_b);
+        assert_eq!(res_a, res_b, "experiment `{name_a}` diverged between jobs=1 and jobs=8");
+        assert_eq!(res_a.render(), res_b.render());
+    }
+}
+
+/// Evaluation-scale bitwise guard (slow; run with `--ignored --release`).
+///
+/// This caught a real bug during development: `std`'s per-thread
+/// `RandomState` made hash-map iteration order — and through it LP row
+/// construction and float accumulation — depend on which worker a cell
+/// landed on, producing ULP-level divergence between job counts. All
+/// workspace maps on the numeric path now use `rand::DetHashMap`.
+#[test]
+#[ignore = "evaluation-scale; seconds in release, minutes in debug"]
+fn evaluation_scale_fig6_is_bit_identical_across_job_counts() {
+    let fig6: Vec<_> =
+        registry_at(Scale::Evaluation).into_iter().filter(|e| e.name() == "fig6").collect();
+    let (one, _) = run_experiments(&fig6, rand::DEFAULT_SEED, 1).expect("jobs=1 run");
+    let (four, _) = run_experiments(&fig6, rand::DEFAULT_SEED, 4).expect("jobs=4 run");
+    assert_eq!(one, four);
+}
+
+#[test]
+fn reseeding_changes_the_world_but_stays_deterministic() {
+    // Guard against the engine accidentally hashing worker identity or
+    // completion order into the seed: a different run seed must change
+    // results, while the same seed must reproduce them exactly.
+    let a = compare_schemes_jobs(&ScenarioConfig::tiny(7), 8).expect("seed 7");
+    let b = compare_schemes_jobs(&ScenarioConfig::tiny(7), 8).expect("seed 7 again");
+    let c = compare_schemes_jobs(&ScenarioConfig::tiny(11), 8).expect("seed 11");
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+    assert_ne!(fingerprint(&a), fingerprint(&c));
+}

@@ -18,7 +18,7 @@ use pretium::sim::runner::{run_pretium, Variant};
 use pretium::sim::scenario::ScenarioConfig;
 
 fn main() {
-    let scenario = ScenarioConfig::evaluation(7, 1.0).build();
+    let scenario = ScenarioConfig::evaluation(rand::DEFAULT_SEED, 1.0).build();
     println!(
         "audited replay: {} datacenters, {} links, {} requests over {} steps",
         scenario.net.num_nodes(),

@@ -11,7 +11,7 @@ use pretium::core::PretiumConfig;
 use pretium::sim::{analyze_deviations, Deviation, ScenarioConfig};
 
 fn main() {
-    let scenario = ScenarioConfig::evaluation(7, 1.0).build();
+    let scenario = ScenarioConfig::evaluation(rand::DEFAULT_SEED, 1.0).build();
     println!(
         "scenario: {} requests over {} timesteps\n",
         scenario.requests.len(),
