@@ -15,7 +15,7 @@ fn main() {
     h.bench_function("replay_audit_off", |b| {
         b.iter(|| {
             let cfg = PretiumConfig::default();
-            let run = run_pretium_cold(&scenario, cfg, Variant::Full, None).unwrap();
+            let run = run_pretium_cold(&scenario, cfg, Variant::Full, None, None).unwrap();
             black_box(run.outcome.delivered.iter().sum::<f64>())
         });
     });
@@ -23,7 +23,7 @@ fn main() {
     h.bench_function("replay_audit_on", |b| {
         b.iter(|| {
             let cfg = PretiumConfig { audit: true, ..Default::default() };
-            let run = run_pretium_cold(&scenario, cfg, Variant::Full, None).unwrap();
+            let run = run_pretium_cold(&scenario, cfg, Variant::Full, None, None).unwrap();
             assert!(run.audit().expect("audit enabled").is_clean());
             black_box(run.outcome.delivered.iter().sum::<f64>())
         });

@@ -16,7 +16,8 @@
 //! [`crate::PretiumConfig::audit`] in release builds, so the evaluation
 //! replay can run audited end-to-end.
 
-use crate::contract::Contract;
+use crate::contract::{Contract, ContractId};
+use crate::degradation::ViolationLedger;
 use crate::state::{NetworkState, RESERVE_REL_TOL};
 use pretium_net::{EdgeId, Network, Path, Timestep};
 use rand::DetHashMap as HashMap;
@@ -61,13 +62,19 @@ pub enum Invariant {
     /// per-edge floor.
     PriceFloor,
     /// (5) For every active contract, delivered plus planned units cover
-    /// the guarantee.
+    /// the (effective, post-waiver) guarantee.
     GuaranteeCoverage,
+    /// (6) Degradation accounting (§4.4): each contract's waived units
+    /// match its violation-ledger total, and a contract past its deadline
+    /// has every guaranteed unit either delivered or waived with a booked
+    /// penalty — a missed guarantee that never reached the ledger means
+    /// the run silently dropped a promise.
+    GuaranteeLedger,
 }
 
 impl Invariant {
     /// Stable index used for per-invariant counters.
-    pub const COUNT: usize = 5;
+    pub const COUNT: usize = 6;
 
     fn index(self) -> usize {
         match self {
@@ -76,6 +83,7 @@ impl Invariant {
             Invariant::ContractAccounting => 2,
             Invariant::PriceFloor => 3,
             Invariant::GuaranteeCoverage => 4,
+            Invariant::GuaranteeLedger => 5,
         }
     }
 
@@ -87,6 +95,7 @@ impl Invariant {
             Invariant::ContractAccounting,
             Invariant::PriceFloor,
             Invariant::GuaranteeCoverage,
+            Invariant::GuaranteeLedger,
         ]
     }
 
@@ -97,6 +106,7 @@ impl Invariant {
             Invariant::ContractAccounting => "contract-accounting",
             Invariant::PriceFloor => "price-floor",
             Invariant::GuaranteeCoverage => "guarantee-coverage",
+            Invariant::GuaranteeLedger => "guarantee-ledger",
         }
     }
 }
@@ -140,6 +150,11 @@ pub struct AuditContext<'a> {
     /// invariant only binds after the first PC run; cold-start and
     /// manually-seeded prices are exempt).
     pub pc_has_run: bool,
+    /// The degradation ledger, when the caller keeps one: the auditor
+    /// cross-checks each contract's waived units against it. `None` skips
+    /// the ledger-total match (standalone drives without a ledger) but the
+    /// no-silent-drop deadline check still runs on `Contract::waived`.
+    pub ledger: Option<&'a ViolationLedger>,
     /// Current simulation timestep.
     pub now: Timestep,
 }
@@ -238,6 +253,7 @@ impl Auditor {
         self.check_contract_accounting(point, cx);
         self.check_price_floor(point, cx);
         self.check_guarantee_coverage(point, cx);
+        self.check_guarantee_ledger(point, cx);
         self.total - before
     }
 
@@ -341,7 +357,8 @@ impl Auditor {
         }
     }
 
-    /// (5) Every active contract's guarantee is covered by what was
+    /// (5) Every active contract's *effective* guarantee (original minus
+    /// units waived under §4.4 degradation) is covered by what was
     /// delivered plus what remains planned. Delivered units may double-count
     /// plan entries at already-executed steps — that only slackens the
     /// check, never tightens it, so it cannot produce false positives.
@@ -352,14 +369,65 @@ impl Auditor {
             }
             let planned: f64 = c.plan.iter().map(|&(_, _, u)| u).sum();
             let covered = c.delivered + planned;
-            if covered < c.guaranteed * (1.0 - self.rel_tol) - self.abs_tol {
+            let target = c.effective_guarantee();
+            if covered < target * (1.0 - self.rel_tol) - self.abs_tol {
                 self.record(
                     point,
                     cx.now,
                     Invariant::GuaranteeCoverage,
                     format!(
-                        "contract {i} ({:?}): delivered {} + planned {planned} < guaranteed {}",
-                        c.params.id, c.delivered, c.guaranteed
+                        "contract {i} ({:?}): delivered {} + planned {planned} < guaranteed {target}",
+                        c.params.id, c.delivered
+                    ),
+                );
+            }
+        }
+    }
+
+    /// (6) Degradation accounting: `waived` stays within `[0, guaranteed]`
+    /// and matches the ledger's per-contract total, and once the deadline
+    /// has passed every guaranteed unit is delivered or ledgered — missed
+    /// guarantees must never vanish without a penalty record.
+    fn check_guarantee_ledger(&mut self, point: AuditPoint, cx: &AuditContext<'_>) {
+        for (i, c) in cx.contracts.iter().enumerate() {
+            if c.waived < -self.abs_tol
+                || c.waived > c.guaranteed * (1.0 + self.rel_tol) + self.abs_tol
+            {
+                self.record(
+                    point,
+                    cx.now,
+                    Invariant::GuaranteeLedger,
+                    format!(
+                        "contract {i} ({:?}): waived {} outside [0, guaranteed {}]",
+                        c.params.id, c.waived, c.guaranteed
+                    ),
+                );
+            }
+            if let Some(ledger) = cx.ledger {
+                let booked = ledger.waived_units(ContractId(i));
+                if (booked - c.waived).abs() > c.guaranteed.abs() * self.rel_tol + self.abs_tol {
+                    self.record(
+                        point,
+                        cx.now,
+                        Invariant::GuaranteeLedger,
+                        format!(
+                            "contract {i} ({:?}): waived {} != ledger total {booked}",
+                            c.params.id, c.waived
+                        ),
+                    );
+                }
+            }
+            if cx.now > c.params.deadline
+                && c.delivered + c.waived < c.guaranteed * (1.0 - self.rel_tol) - self.abs_tol
+            {
+                self.record(
+                    point,
+                    cx.now,
+                    Invariant::GuaranteeLedger,
+                    format!(
+                        "contract {i} ({:?}): guarantee missed with no ledger entry — \
+                         delivered {} + waived {} < guaranteed {}",
+                        c.params.id, c.delivered, c.waived, c.guaranteed
                     ),
                 );
             }
@@ -403,6 +471,7 @@ mod tests {
             payment,
             lambda,
             delivered: 0.0,
+            waived: 0.0,
             plan: Vec::new(),
         }
     }
@@ -421,6 +490,7 @@ mod tests {
             contract_paths: paths,
             floors,
             pc_has_run: false,
+            ledger: None,
             now: 0,
         }
     }
@@ -523,6 +593,63 @@ mod tests {
         context.now = 3;
         aud2.check(AuditPoint::Execute, &context);
         assert_eq!(aud2.violations_of(Invariant::GuaranteeCoverage), 0);
+    }
+
+    #[test]
+    fn waived_guarantee_passes_coverage_when_ledgered() {
+        use crate::degradation::{DegradationKind, ViolationLedger};
+        let (net, state, paths) = world();
+        // Guarantee 10, delivered 4, waived 6: effective guarantee is
+        // covered, deadline passed, ledger matches — clean.
+        let mut c = contract(10.0, 10.0, 10.0, 2.0);
+        c.delivered = 4.0;
+        c.waived = 6.0;
+        let mut ledger = ViolationLedger::new();
+        ledger.record(ContractId(0), 1, DegradationKind::Shed, 6.0, 12.0);
+        let contracts = [c];
+        let floors = [0.05];
+        let mut aud = Auditor::new();
+        let mut context = cx(&net, &state, &contracts, &paths, &floors);
+        context.ledger = Some(&ledger);
+        context.now = 4; // past deadline 3
+        aud.check(AuditPoint::Execute, &context);
+        assert!(aud.is_clean(), "{:?}", aud.violations());
+    }
+
+    #[test]
+    fn silently_dropped_guarantee_is_caught() {
+        let (net, state, paths) = world();
+        // Deadline passed with 4/10 delivered and nothing waived: a missed
+        // guarantee that never reached the ledger.
+        let mut c = contract(10.0, 10.0, 10.0, 2.0);
+        c.delivered = 4.0;
+        let contracts = [c];
+        let floors = [0.05];
+        let mut aud = Auditor::new();
+        let mut context = cx(&net, &state, &contracts, &paths, &floors);
+        context.now = 4;
+        aud.check(AuditPoint::Execute, &context);
+        assert_eq!(aud.violations_of(Invariant::GuaranteeLedger), 1, "{:?}", aud.violations());
+        assert!(aud.violations()[0].to_string().contains("no ledger entry"));
+    }
+
+    #[test]
+    fn waived_units_must_match_ledger_total() {
+        use crate::degradation::{DegradationKind, ViolationLedger};
+        let (net, state, paths) = world();
+        let mut c = contract(10.0, 10.0, 10.0, 2.0);
+        c.delivered = 5.0; // effective guarantee stays covered
+        c.waived = 5.0;
+        let mut ledger = ViolationLedger::new();
+        ledger.record(ContractId(0), 1, DegradationKind::Relaxed, 2.0, 4.0);
+        let contracts = [c];
+        let floors = [0.05];
+        let mut aud = Auditor::new();
+        let mut context = cx(&net, &state, &contracts, &paths, &floors);
+        context.ledger = Some(&ledger);
+        aud.check(AuditPoint::Sam, &context);
+        assert_eq!(aud.violations_of(Invariant::GuaranteeLedger), 1, "{:?}", aud.violations());
+        assert!(aud.violations()[0].to_string().contains("ledger total"));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Pretium configuration knobs.
 
+use crate::degradation::DegradationPolicy;
 use crate::state::PriceBump;
 use crate::topk::TopkEncoding;
 
@@ -46,6 +47,10 @@ pub struct PretiumConfig {
     /// builds audit unconditionally; this flag turns auditing on in
     /// release builds too (e.g. for an audited evaluation replay).
     pub audit: bool,
+    /// Fallback policy when faults make the guarantee LP uncoverable
+    /// (§4.4): shed lowest-λ guarantees first, then relax the last one,
+    /// booking every waiver in the violation ledger.
+    pub degradation: DegradationPolicy,
 }
 
 impl Default for PretiumConfig {
@@ -63,6 +68,7 @@ impl Default for PretiumConfig {
             price_floor: 0.05,
             initial_price_scale: 1.0,
             audit: false,
+            degradation: DegradationPolicy::ShedThenRelax,
         }
     }
 }
@@ -80,6 +86,7 @@ mod tests {
         assert!(c.sam_enabled);
         // Release-build auditing is opt-in (debug builds always audit).
         assert!(!c.audit);
+        assert_eq!(c.degradation, DegradationPolicy::ShedThenRelax);
     }
 
     #[test]

@@ -55,15 +55,27 @@ pub struct Contract {
     pub lambda: f64,
     /// Units delivered so far.
     pub delivered: f64,
+    /// Guaranteed units formally released under the degradation policy
+    /// (§4.4): when rerouting cannot cover a guarantee, SAM sheds or
+    /// relaxes it, waives the uncoverable units here, and records a
+    /// penalty in the [`crate::degradation::ViolationLedger`]. Always
+    /// matches the ledger's per-contract total — the audit checks.
+    pub waived: f64,
     /// Planned future transfers: `(path index, timestep, units)` over the
     /// contract's path set. Rewritten by SAM each timestep.
     pub plan: Vec<(usize, Timestep, f64)>,
 }
 
 impl Contract {
-    /// Units still owed under the guarantee.
+    /// Units still owed under the guarantee (waived units are no longer
+    /// owed — their penalty lives in the violation ledger instead).
     pub fn guarantee_remaining(&self) -> f64 {
-        (self.guaranteed - self.delivered).max(0.0)
+        (self.effective_guarantee() - self.delivered).max(0.0)
+    }
+
+    /// The guarantee after degradation waivers: `guaranteed - waived`.
+    pub fn effective_guarantee(&self) -> f64 {
+        (self.guaranteed - self.waived).max(0.0)
     }
 
     /// Units the customer still wants (purchased minus delivered).
@@ -76,9 +88,17 @@ impl Contract {
         now <= self.params.deadline && self.demand_remaining() > 1e-9
     }
 
-    /// Whether the guarantee was met by the deadline.
+    /// Whether the *original* guarantee was met (waivers don't count —
+    /// this is the customer-visible promise).
     pub fn guarantee_met(&self) -> bool {
         self.delivered + 1e-6 >= self.guaranteed
+    }
+
+    /// Whether every guaranteed unit is accounted for: delivered, or
+    /// waived with a recorded penalty. A run where some contract fails
+    /// this past its deadline has silently dropped a guarantee.
+    pub fn guarantee_accounted(&self) -> bool {
+        self.delivered + self.waived + 1e-6 >= self.guaranteed
     }
 
     /// Fully served (all purchased units delivered).
@@ -107,6 +127,7 @@ mod tests {
             payment: 9.0,
             lambda: 1.2,
             delivered: 0.0,
+            waived: 0.0,
             plan: Vec::new(),
         }
     }
@@ -123,6 +144,19 @@ mod tests {
         assert!(!c.completed());
         c.delivered = 8.0;
         assert!(c.completed());
+    }
+
+    #[test]
+    fn waived_units_release_the_guarantee_but_not_the_promise() {
+        let mut c = contract();
+        c.delivered = 2.0;
+        c.waived = 4.0;
+        assert!((c.effective_guarantee() - 2.0).abs() < 1e-12);
+        assert_eq!(c.guarantee_remaining(), 0.0);
+        assert!(!c.guarantee_met(), "waiving must not count as meeting the promise");
+        assert!(c.guarantee_accounted(), "delivered + waived covers the guarantee");
+        c.waived = 3.0;
+        assert!(!c.guarantee_accounted());
     }
 
     #[test]

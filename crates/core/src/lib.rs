@@ -25,12 +25,16 @@
 //!   by misreporting?).
 //! * [`audit`] — the network-state invariant auditor: sweeps shared-state
 //!   invariants (no oversubscription, plans backed by reservations, finite
-//!   money, price floors, guarantee coverage) after each module checkpoint.
+//!   money, price floors, guarantee coverage, ledgered degradation) after
+//!   each module checkpoint.
+//! * [`degradation`] — §4.4 graceful degradation: the shed-then-relax
+//!   fallback policy and the violation ledger of waived guarantees.
 //! * [`telemetry`] — per-module counters and wall-clock timings.
 
 pub mod audit;
 pub mod config;
 pub mod contract;
+pub mod degradation;
 pub mod incentives;
 pub mod menu;
 pub mod pretium;
@@ -42,6 +46,7 @@ pub mod topk;
 pub use audit::{AuditContext, AuditPoint, Auditor, Invariant, Violation};
 pub use config::{PretiumConfig, ReferenceWindow};
 pub use contract::{Contract, ContractId, RequestParams};
+pub use degradation::{DegradationKind, DegradationPolicy, LedgerEntry, ViolationLedger};
 pub use menu::{build_menu, PriceMenu};
 pub use pretium::{initial_price, price_floor, Pretium};
 pub use schedule::{Job, ScheduleProblem, ScheduleSession, ScheduleSolution};

@@ -9,13 +9,14 @@
 use crate::audit::{AuditContext, AuditPoint, Auditor};
 use crate::config::{PretiumConfig, ReferenceWindow};
 use crate::contract::{Contract, ContractId, RequestParams};
+use crate::degradation::{DegradationKind, DegradationPolicy, ViolationLedger};
 use crate::menu::{build_menu, PriceMenu};
 use crate::schedule::{self, Job, ScheduleProblem, ScheduleSession};
 use crate::state::NetworkState;
 use crate::telemetry::Telemetry;
-use pretium_lp::{SessionStats, SolveError};
+use pretium_lp::{SessionStats, SolveError, SolveOptions};
 use pretium_net::{EdgeId, Network, Path, PathSet, TimeGrid, Timestep, UsageTracker};
-use rand::DetHashSet as HashSet;
+use rand::{DetHashMap as HashMap, DetHashSet as HashSet};
 use std::time::Instant;
 
 /// The scheduling LP SAM keeps alive between timesteps of one billing
@@ -76,6 +77,14 @@ pub struct Pretium {
     /// Invariant auditor — `Some` in debug/test builds and when
     /// [`PretiumConfig::audit`] is set.
     audit: Option<Auditor>,
+    /// Penalty record of every guarantee waived under §4.4 degradation.
+    ledger: ViolationLedger,
+    /// Billing windows during which some link was degraded; the PC
+    /// refuses to learn prices from them (frozen-price fallback, §4.4).
+    fault_windows: HashSet<usize>,
+    /// Simplex iteration cap injected by the solver-pressure fault; SAM
+    /// keeps its previous plan when a solve hits it.
+    solver_pressure: Option<u64>,
 }
 
 impl Pretium {
@@ -107,6 +116,9 @@ impl Pretium {
             floors,
             telemetry: Telemetry::default(),
             audit,
+            ledger: ViolationLedger::new(),
+            fault_windows: HashSet::default(),
+            solver_pressure: None,
         }
     }
 
@@ -145,6 +157,25 @@ impl Pretium {
         self.audit.as_ref()
     }
 
+    /// The degradation ledger: every guarantee waived under §4.4, with its
+    /// booked penalty, in waiver order.
+    pub fn ledger(&self) -> &ViolationLedger {
+        &self.ledger
+    }
+
+    /// Cap (or uncap, with `None`) the simplex iterations of SAM's solves
+    /// — the solver-pressure fault of §4.4. A capped solve that runs out
+    /// keeps the previous feasible plan instead of failing the run.
+    pub fn set_solver_pressure(&mut self, limit: Option<u64>) {
+        self.solver_pressure = limit;
+    }
+
+    /// Whether billing window `w` was contaminated by a fault (the PC
+    /// freezes prices rather than learn from such windows).
+    pub fn window_contaminated(&self, w: usize) -> bool {
+        self.fault_windows.contains(&w)
+    }
+
     /// Sweep every invariant now and record violations. Runs after each
     /// module checkpoint; also callable directly (e.g. right after
     /// [`Pretium::inject_capacity_loss`], before SAM has replanned).
@@ -158,6 +189,7 @@ impl Pretium {
             contract_paths: &self.contract_paths,
             floors: &self.floors,
             pc_has_run: self.pc_runs > 0,
+            ledger: Some(&self.ledger),
             now,
         };
         let new = aud.check(point, &cx);
@@ -255,6 +287,7 @@ impl Pretium {
             payment,
             lambda,
             delivered: 0.0,
+            waived: 0.0,
             plan,
         });
         self.contract_paths.push(paths);
@@ -289,6 +322,13 @@ impl Pretium {
         }
         let t0 = Instant::now();
         let window = self.grid.window_of(now);
+        let faulted = self.state.faulted_at(now);
+        if faulted {
+            // A degraded SAM step: counted as recovery time, and the
+            // window is contaminated for price learning (§4.4).
+            self.telemetry.degraded_steps += 1;
+            self.fault_windows.insert(window);
+        }
         let reusable = self.sam.as_ref().is_some_and(|c| c.window == window);
         let mut carry = if reusable {
             self.sam.take().unwrap()
@@ -331,20 +371,124 @@ impl Pretium {
                 carry.push_contract(i);
             }
         }
+        // Solver-pressure fault (§4.4): cap the simplex when injected.
+        let opts = match self.solver_pressure {
+            Some(limit) => SolveOptions::with_iteration_limit(limit),
+            None => SolveOptions::default(),
+        };
         let result = {
             let state = &self.state;
             let capacity = |e: EdgeId, t: Timestep| state.sellable_capacity(e, t);
             let realized_fn = |e: EdgeId, t: Timestep| realized.at(e, t);
-            carry.sess.solve_step(&self.net, &capacity, &realized_fn)
+            carry.sess.solve_step_with(&self.net, &capacity, &realized_fn, &opts)
         };
-        let sol = match result {
+        let mut sol = match result {
             Ok(sol) => sol,
             Err(err) => {
                 // Retire the failed session (keeping its counters); the
                 // next SAM run rebuilds from scratch.
                 self.lp_stats.merge(carry.sess.lp_stats());
+                if matches!(err, SolveError::IterationLimit { .. })
+                    && self.solver_pressure.is_some()
+                {
+                    // Degraded compute, not a bug: keep the previous plans
+                    // and reservations (stale but feasible) and move on.
+                    self.telemetry.sam_degradations += 1;
+                    self.telemetry.sam.record(t0.elapsed());
+                    return Ok(());
+                }
                 return Err(err);
             }
+        };
+        const SHORT_TOL: f64 = 1e-6;
+        if sol.max_shortfall() > SHORT_TOL {
+            self.telemetry.sam_shortfalls += 1;
+        }
+        // Fallback chain (§4.4): the guarantee LP is uncoverable — even
+        // with rerouting, the degraded capacities cannot serve every
+        // admitted guarantee. Shed the lowest-λ short contract wholly
+        // while several are short; when one remains, relax it by exactly
+        // its shortfall. Every waiver books a λ·units penalty in the
+        // ledger and lowers the LP's guarantee row, so the re-solve
+        // (warm, RHS-only) redistributes capacity to the survivors.
+        if sol.max_shortfall() > SHORT_TOL
+            && self.cfg.degradation == DegradationPolicy::ShedThenRelax
+        {
+            self.telemetry.sam_degradations += 1;
+            let mut handled: HashSet<usize> = HashSet::default();
+            loop {
+                let short: Vec<(usize, f64)> = sol
+                    .shortfall
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, &s)| s > SHORT_TOL && !handled.contains(&j))
+                    .map(|(j, &s)| (j, s))
+                    .collect();
+                if short.is_empty() {
+                    break;
+                }
+                let (j, units, kind) = if short.len() > 1 {
+                    let &(j, _) = short
+                        .iter()
+                        .min_by(|a, b| {
+                            let la = self.contracts[carry.contract_of_job[a.0]].lambda;
+                            let lb = self.contracts[carry.contract_of_job[b.0]].lambda;
+                            la.partial_cmp(&lb).unwrap().then(a.0.cmp(&b.0))
+                        })
+                        .unwrap();
+                    let i = carry.contract_of_job[j];
+                    (j, self.contracts[i].guarantee_remaining(), DegradationKind::Shed)
+                } else {
+                    let (j, s) = short[0];
+                    let i = carry.contract_of_job[j];
+                    (j, s.min(self.contracts[i].guarantee_remaining()), DegradationKind::Relaxed)
+                };
+                handled.insert(j);
+                let waived = carry.sess.relax_guarantee(j, units);
+                if waived <= 0.0 {
+                    continue;
+                }
+                let i = carry.contract_of_job[j];
+                self.contracts[i].waived += waived;
+                let penalty = self.contracts[i].lambda * waived;
+                self.ledger.record(ContractId(i), now, kind, waived, penalty);
+                match kind {
+                    DegradationKind::Shed => self.telemetry.guarantees_shed += 1,
+                    DegradationKind::Relaxed => self.telemetry.guarantees_relaxed += 1,
+                }
+                let resolved = {
+                    let state = &self.state;
+                    let capacity = |e: EdgeId, t: Timestep| state.sellable_capacity(e, t);
+                    let realized_fn = |e: EdgeId, t: Timestep| realized.at(e, t);
+                    carry.sess.solve_step_with(&self.net, &capacity, &realized_fn, &opts)
+                };
+                sol = match resolved {
+                    Ok(s) => s,
+                    Err(err) => {
+                        self.lp_stats.merge(carry.sess.lp_stats());
+                        if matches!(err, SolveError::IterationLimit { .. })
+                            && self.solver_pressure.is_some()
+                        {
+                            self.telemetry.sam.record(t0.elapsed());
+                            return Ok(());
+                        }
+                        return Err(err);
+                    }
+                };
+            }
+        }
+        // Plan snapshot for the rerouted-units metric (§4.4): how much
+        // previously planned volume had to move off its (path, step) slot.
+        let old_plans: Vec<Vec<(usize, Timestep, f64)>> = if faulted {
+            carry
+                .contract_of_job
+                .iter()
+                .map(|&i| {
+                    self.contracts[i].plan.iter().filter(|&&(_, t, _)| t >= now).copied().collect()
+                })
+                .collect()
+        } else {
+            Vec::new()
         };
         // Install the new plans. The extraction excludes frozen past
         // steps, so plans contain only future flows; session jobs beyond
@@ -375,8 +519,21 @@ impl Pretium {
             }
             self.contracts[i].plan = plan;
         }
-        if sol.max_shortfall() > 1e-6 {
-            self.telemetry.sam_shortfalls += 1;
+        if faulted {
+            let mut moved = 0.0;
+            for (j, &i) in carry.contract_of_job.iter().enumerate() {
+                let mut slots: HashMap<(usize, Timestep), f64> = HashMap::default();
+                for &(pi, t, u) in &old_plans[j] {
+                    *slots.entry((pi, t)).or_insert(0.0) += u;
+                }
+                for &(pi, t, u) in &self.contracts[i].plan {
+                    if let Some(v) = slots.get_mut(&(pi, t)) {
+                        *v -= u;
+                    }
+                }
+                moved += slots.values().map(|v| v.max(0.0)).sum::<f64>();
+            }
+            self.telemetry.rerouted_units += moved;
         }
         self.sam = Some(carry);
         self.telemetry.sam.record(t0.elapsed());
@@ -419,6 +576,9 @@ impl Pretium {
         }
         self.telemetry.units_executed += total;
         self.telemetry.execute.record(t0.elapsed());
+        if self.state.faulted_at(now) {
+            self.fault_windows.insert(self.grid.window_of(now));
+        }
         self.run_audit(AuditPoint::Execute, now);
         total
     }
@@ -434,6 +594,22 @@ impl Pretium {
         }
         let t0 = Instant::now();
         let lookback = self.cfg.lookback_windows.max(1).min(w_now);
+        let back = match self.cfg.reference {
+            ReferenceWindow::Previous => 1,
+            ReferenceWindow::WindowsBack(n) => n.max(1),
+        }
+        .min(w_now);
+        // §4.4 frozen prices: a window in which links were degraded
+        // reflects the broken topology's scarcity, not demand — duals
+        // learned from it would poison future quotes. Keep the previous
+        // prices until an uncontaminated window is available.
+        let contaminated = (w_now - lookback..w_now)
+            .chain(std::iter::once(w_now - back))
+            .any(|w| self.fault_windows.contains(&w));
+        if contaminated {
+            self.telemetry.pc_freezes += 1;
+            return Ok(());
+        }
         let lb_start = self.grid.window_start(w_now - lookback);
         // Jobs: every contract whose transfer window intersects the
         // look-back period, with the marginal accepted price as its value.
@@ -479,11 +655,6 @@ impl Pretium {
         let sol = schedule::solve(&problem)?;
         self.lp_stats.merge(sol.lp_stats);
         // Reference window: the pattern carried into the future.
-        let back = match self.cfg.reference {
-            ReferenceWindow::Previous => 1,
-            ReferenceWindow::WindowsBack(n) => n.max(1),
-        }
-        .min(w_now);
         let ref_start = self.grid.window_start(w_now - back);
         for e in self.net.edge_ids() {
             let floor = price_floor(&self.net, &self.grid, &self.cfg, e);
@@ -501,14 +672,30 @@ impl Pretium {
         Ok(())
     }
 
-    /// Inject a high-pri surge / fault: remove `fraction` of an edge's
-    /// capacity from the sellable pool over `[from, to)` (§4.4). A fraction
-    /// of 1.0 models a full link failure.
+    /// Inject a fault: remove `fraction` of an edge's capacity from the
+    /// sellable pool over `[from, to)` (§4.4). A fraction of 1.0 models a
+    /// full link failure. Losses compound with any existing degradation
+    /// (the stricter health wins); the window containing `from` is marked
+    /// fault-contaminated, and subsequent SAM/execute steps extend the
+    /// marking while the fault persists.
     pub fn inject_capacity_loss(&mut self, e: EdgeId, from: Timestep, to: Timestep, fraction: f64) {
         assert!((0.0..=1.0).contains(&fraction));
-        let cap = self.net.edge(e).capacity;
+        let retained = 1.0 - fraction;
         for t in from..to.min(self.horizon) {
-            self.state.set_highpri(e, t, cap * fraction);
+            let h = self.state.health(e, t).min(retained);
+            self.state.set_health(e, t, h);
+        }
+        if from < self.horizon {
+            self.fault_windows.insert(self.grid.window_of(from));
+        }
+    }
+
+    /// Undo a capacity loss: restore full health on `(e, t)` for
+    /// `t ∈ [from, to)` — fault recovery (§4.4). Windows already marked
+    /// contaminated stay marked; the fault did happen in them.
+    pub fn restore_capacity(&mut self, e: EdgeId, from: Timestep, to: Timestep) {
+        for t in from..to.min(self.horizon) {
+            self.state.set_health(e, t, 1.0);
         }
     }
 

@@ -225,6 +225,9 @@ pub struct ScheduleSession {
     vars: Vec<Vec<(usize, Timestep, Var)>>,
     /// Shortfall variable per job (if it has a guarantee).
     shortfalls: Vec<Option<Var>>,
+    /// Guarantee row per job (if it has one) — the degradation policy
+    /// lowers its RHS when a guarantee is shed or relaxed (§4.4).
+    guar_rows: Vec<Option<RowId>>,
     /// Materialized capacity rows.
     cap_rows: HashMap<(EdgeId, Timestep), RowId>,
     /// Percentile edges with a cost encoding already, per window.
@@ -262,6 +265,7 @@ impl ScheduleSession {
             jobs: Vec::with_capacity(p.jobs.len()),
             vars: Vec::with_capacity(p.jobs.len()),
             shortfalls: Vec::with_capacity(p.jobs.len()),
+            guar_rows: Vec::with_capacity(p.jobs.len()),
             cap_rows: HashMap::default(),
             costed: HashMap::default(),
             use_rows: HashMap::default(),
@@ -336,6 +340,7 @@ impl ScheduleSession {
             // nothing.
             self.vars.push(jvars);
             self.shortfalls.push(None);
+            self.guar_rows.push(None);
             self.jobs.push(job);
             return j;
         }
@@ -344,10 +349,12 @@ impl ScheduleSession {
             // Soft guarantee: Σ X + shortfall >= min_units.
             let s = self.sess.add_var(&format!("short_{j}"), 0.0, job.min_units, -self.penalty);
             let e = total.term(1.0, s);
-            self.sess.add_row(&format!("guar_{j}"), e, Cmp::Ge, job.min_units);
+            let row = self.sess.add_row(&format!("guar_{j}"), e, Cmp::Ge, job.min_units);
             self.shortfalls.push(Some(s));
+            self.guar_rows.push(Some(row));
         } else {
             self.shortfalls.push(None);
+            self.guar_rows.push(None);
         }
         self.vars.push(jvars);
         self.jobs.push(job);
@@ -395,6 +402,24 @@ impl ScheduleSession {
         self.fixed_up_to = now;
     }
 
+    /// Lower job `j`'s guarantee by `by` units (§4.4 degradation): the
+    /// guarantee row's RHS drops by the actual waived amount, so the rest
+    /// of the guarantee stays a hard (penalized) target while the waived
+    /// units stop competing for degraded capacity. An RHS-only mutation —
+    /// the next re-solve warm-starts dual. Returns the units actually
+    /// waived (clamped to the guarantee still encoded in the LP).
+    pub fn relax_guarantee(&mut self, j: usize, by: f64) -> f64 {
+        assert!(by >= 0.0, "negative guarantee relaxation");
+        let Some(row) = self.guar_rows[j] else { return 0.0 };
+        let waived = by.min(self.jobs[j].min_units).max(0.0);
+        if waived <= 0.0 {
+            return 0.0;
+        }
+        self.jobs[j].min_units -= waived;
+        self.sess.set_rhs(row, self.jobs[j].min_units);
+        waived
+    }
+
     /// Re-solve over the remaining horizon: refresh materialized capacity
     /// rows against `capacity`, then run the lazy generation loop (violated
     /// capacity rows, cost encodings for percentile edges in use), where
@@ -405,6 +430,19 @@ impl ScheduleSession {
         net: &Network,
         capacity: &dyn Fn(EdgeId, Timestep) -> f64,
         realized: &dyn Fn(EdgeId, Timestep) -> f64,
+    ) -> Result<ScheduleSolution, SolveError> {
+        self.solve_step_with(net, capacity, realized, &SolveOptions::default())
+    }
+
+    /// [`ScheduleSession::solve_step`] with explicit solver options — the
+    /// fault-injection path uses this to impose an iteration limit on the
+    /// simplex (degraded-compute perturbation, §4.4).
+    pub fn solve_step_with(
+        &mut self,
+        net: &Network,
+        capacity: &dyn Fn(EdgeId, Timestep) -> f64,
+        realized: &dyn Fn(EdgeId, Timestep) -> f64,
+        opts: &SolveOptions,
     ) -> Result<ScheduleSolution, SolveError> {
         // Capacity can move between steps (high-pri surges, failures);
         // elapsed steps keep their old rows — that flow already happened.
@@ -418,12 +456,11 @@ impl ScheduleSession {
             self.sess.set_rhs(row, capacity(e, t));
         }
         let trace = std::env::var_os("PRETIUM_LP_TRACE").is_some();
-        let opts = SolveOptions::default();
         let mut rounds = 0;
         loop {
             rounds += 1;
             let t0 = std::time::Instant::now();
-            let sol = self.sess.solve(&opts)?;
+            let sol = self.sess.solve(opts)?;
             if trace {
                 eprintln!(
                     "[schedule] round {rounds}: {} rows x {} vars, {:?} restart, {:?}",
@@ -684,6 +721,67 @@ mod tests {
         let sol = solve(&problem).unwrap();
         assert!((sol.delivered[0] - 10.0).abs() < 1e-6);
         assert!((sol.shortfall[0] - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn relaxed_guarantee_clears_shortfall() {
+        // Guarantee 15 on a 10-capacity single step: 5 units uncoverable.
+        // Relaxing by the shortfall must clear it on the warm re-solve and
+        // leave the rest of the guarantee delivered.
+        let (net, a, b) = line_net();
+        let grid = TimeGrid::new(4, 30);
+        let jobs = vec![Job::new(0, single_path(&net, a, b), 0, 0, 1.0, 15.0, 15.0)];
+        let cap = |e: EdgeId, _t: Timestep| net.edge(e).capacity;
+        let problem = ScheduleProblem {
+            net: &net,
+            grid: &grid,
+            from: 0,
+            to: 1,
+            jobs: &jobs,
+            capacity: &cap,
+            realized: &no_realized,
+            topk: TopkEncoding::CVar,
+            cost_scale: 1.0,
+        };
+        let mut sess = ScheduleSession::new(&problem);
+        let sol = sess.solve_step(&net, &cap, &no_realized).unwrap();
+        assert!((sol.max_shortfall() - 5.0).abs() < 1e-6);
+        let waived = sess.relax_guarantee(0, sol.max_shortfall());
+        assert!((waived - 5.0).abs() < 1e-6);
+        let relaxed = sess.solve_step(&net, &cap, &no_realized).unwrap();
+        assert!(relaxed.max_shortfall() < 1e-6, "shortfall {}", relaxed.max_shortfall());
+        assert!((relaxed.delivered[0] - 10.0).abs() < 1e-6);
+        // Relaxing a job with no guarantee row is a no-op.
+        assert_eq!(sess.relax_guarantee(0, 100.0), 10.0);
+    }
+
+    #[test]
+    fn iteration_limited_solve_reports_gracefully() {
+        let (net, a, b) = line_net();
+        let grid = TimeGrid::new(4, 30);
+        let jobs = vec![
+            Job::new(0, single_path(&net, a, b), 0, 3, 1.0, 5.0, 25.0),
+            Job::new(1, single_path(&net, a, b), 0, 3, 2.0, 0.0, 20.0),
+        ];
+        let cap = |e: EdgeId, _t: Timestep| net.edge(e).capacity;
+        let problem = ScheduleProblem {
+            net: &net,
+            grid: &grid,
+            from: 0,
+            to: 4,
+            jobs: &jobs,
+            capacity: &cap,
+            realized: &no_realized,
+            topk: TopkEncoding::CVar,
+            cost_scale: 1.0,
+        };
+        let mut sess = ScheduleSession::new(&problem);
+        let r =
+            sess.solve_step_with(&net, &cap, &no_realized, &SolveOptions::with_iteration_limit(1));
+        assert!(
+            matches!(r, Err(SolveError::IterationLimit { .. })),
+            "expected IterationLimit, got {r:?}"
+        );
     }
 
     #[test]

@@ -51,6 +51,11 @@ pub struct NetworkState {
     reserved: Vec<Vec<f64>>,
     /// Capacity set aside for high-pri traffic, `[edge][t]`.
     highpri: Vec<Vec<f64>>,
+    /// Surviving capacity fraction under faults, `[edge][t]` (§4.4):
+    /// `1.0` = healthy, `0.0` = failed. Multiplies the sellable capacity,
+    /// so every consumer — menus, the scheduling LPs, the auditor, and the
+    /// overbooking assert — sees the *degraded* capacity automatically.
+    health: Vec<Vec<f64>>,
     /// Total capacity per edge (cached from the network).
     capacity: Vec<f64>,
     pub bump: PriceBump,
@@ -76,6 +81,7 @@ impl NetworkState {
             prices: net.edge_ids().map(|e| vec![initial_price(e).max(0.0); horizon]).collect(),
             reserved: vec![vec![0.0; horizon]; ne],
             highpri: capacity.iter().map(|&c| vec![c * highpri_fraction; horizon]).collect(),
+            health: vec![vec![1.0; horizon]; ne],
             capacity,
             bump,
         }
@@ -100,18 +106,18 @@ impl NetworkState {
         self.prices[e.index()][t] = p;
     }
 
-    /// Capacity currently sellable at `(e, t)`: total minus high-pri
-    /// set-aside minus reservations. Never negative.
+    /// Capacity currently sellable at `(e, t)`: degraded total minus
+    /// high-pri set-aside minus reservations. Never negative.
     pub fn available(&self, e: EdgeId, t: Timestep) -> f64 {
-        let i = e.index();
-        (self.capacity[i] - self.highpri[i][t] - self.reserved[i][t]).max(0.0)
+        (self.sellable_capacity(e, t) - self.reserved[e.index()][t]).max(0.0)
     }
 
-    /// Capacity usable by Pretium at `(e, t)` (total minus high-pri),
-    /// ignoring reservations — the `c_{e,t}` of the scheduling LPs.
+    /// Capacity usable by Pretium at `(e, t)` (total minus high-pri, scaled
+    /// by the fault health factor), ignoring reservations — the `c_{e,t}`
+    /// of the scheduling LPs.
     pub fn sellable_capacity(&self, e: EdgeId, t: Timestep) -> f64 {
         let i = e.index();
-        (self.capacity[i] - self.highpri[i][t]).max(0.0)
+        (self.capacity[i] - self.highpri[i][t]).max(0.0) * self.health[i][t]
     }
 
     /// Reserved volume at `(e, t)`.
@@ -194,6 +200,23 @@ impl NetworkState {
         self.highpri[e.index()][t]
     }
 
+    /// Set the surviving-capacity fraction of `(e, t)` (§4.4 faults):
+    /// `0.0` = link down, `1.0` = fully recovered.
+    pub fn set_health(&mut self, e: EdgeId, t: Timestep, h: f64) {
+        assert!((0.0..=1.0).contains(&h), "health must be in [0, 1]");
+        self.health[e.index()][t] = h;
+    }
+
+    /// Surviving-capacity fraction of `(e, t)`.
+    pub fn health(&self, e: EdgeId, t: Timestep) -> f64 {
+        self.health[e.index()][t]
+    }
+
+    /// True when any link is degraded at `t` (health below 1).
+    pub fn faulted_at(&self, t: Timestep) -> bool {
+        self.health.iter().any(|series| series[t] < 1.0)
+    }
+
     /// Price series of one edge (for Figure 7a).
     pub fn price_series(&self, e: EdgeId) -> &[f64] {
         &self.prices[e.index()]
@@ -273,6 +296,31 @@ mod tests {
         st.clear_reservations_from(5);
         assert_eq!(st.reserved(e, 3), 1.0);
         assert_eq!(st.reserved(e, 8), 0.0);
+    }
+
+    #[test]
+    fn health_scales_sellable_capacity_and_availability() {
+        let (net, mut st) = state();
+        let e = net.edge_ids().next().unwrap();
+        let healthy = st.sellable_capacity(e, 4);
+        assert!(!st.faulted_at(4));
+        st.set_health(e, 4, 0.25);
+        assert!(st.faulted_at(4));
+        assert!((st.sellable_capacity(e, 4) - healthy * 0.25).abs() < 1e-9);
+        assert!((st.available(e, 4) - healthy * 0.25).abs() < 1e-9);
+        st.set_health(e, 4, 1.0);
+        assert!((st.sellable_capacity(e, 4) - healthy).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "overbooked")]
+    fn reserve_respects_degraded_capacity() {
+        let (net, mut st) = state();
+        let e = net.edge_ids().next().unwrap();
+        let cap = st.sellable_capacity(e, 0);
+        st.set_health(e, 0, 0.5);
+        // Would fit the healthy link, but not the degraded one.
+        st.reserve(e, 0, cap * 0.8);
     }
 
     #[test]

@@ -162,6 +162,22 @@ pub struct Telemetry {
     pub units_executed: f64,
     /// Invariant violations the auditor recorded (0 when auditing is off).
     pub audit_violations: u64,
+    /// SAM runs where the §4.4 fallback chain engaged (some guarantee had
+    /// to be shed or relaxed because rerouting could not cover it).
+    pub sam_degradations: u64,
+    /// Guarantees shed wholly (lowest-λ-first stage of the fallback).
+    pub guarantees_shed: u64,
+    /// Guarantees relaxed partially (second stage of the fallback).
+    pub guarantees_relaxed: u64,
+    /// Planned units SAM moved off their previously planned (path, step)
+    /// slot while a fault was active — the §4.4 rerouting volume.
+    pub rerouted_units: f64,
+    /// SAM runs executed while some link was degraded; with one fault this
+    /// is the recovery time in timesteps.
+    pub degraded_steps: u64,
+    /// PC runs skipped because the look-back window was contaminated by a
+    /// fault (prices frozen rather than learned from a broken topology).
+    pub pc_freezes: u64,
 }
 
 impl Telemetry {
@@ -189,6 +205,12 @@ impl Telemetry {
             ("sam shortfalls".into(), self.sam_shortfalls.to_string()),
             ("units executed".into(), format!("{:.1}", self.units_executed)),
             ("audit violations".into(), self.audit_violations.to_string()),
+            ("sam degradations".into(), self.sam_degradations.to_string()),
+            ("guarantees shed".into(), self.guarantees_shed.to_string()),
+            ("guarantees relaxed".into(), self.guarantees_relaxed.to_string()),
+            ("rerouted units".into(), format!("{:.1}", self.rerouted_units)),
+            ("degraded steps".into(), self.degraded_steps.to_string()),
+            ("pc freezes".into(), self.pc_freezes.to_string()),
         ]
     }
 }
@@ -251,8 +273,11 @@ mod tests {
     fn rows_cover_every_counter() {
         let t = Telemetry::default();
         let rows = t.rows();
-        assert_eq!(rows.len(), 13);
+        assert_eq!(rows.len(), 19);
         assert!(rows.iter().any(|(k, _)| k.starts_with("run_sam")));
         assert!(rows.iter().any(|(k, _)| k == "audit violations"));
+        assert!(rows.iter().any(|(k, _)| k == "guarantees shed"));
+        assert!(rows.iter().any(|(k, _)| k == "rerouted units"));
+        assert!(rows.iter().any(|(k, _)| k == "pc freezes"));
     }
 }

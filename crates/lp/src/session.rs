@@ -61,6 +61,19 @@ pub struct SolveOptions {
     pub max_rounds: u32,
 }
 
+impl SolveOptions {
+    /// Options that cap the simplex at `max` iterations (fault injection /
+    /// degraded-compute modelling, §4.4). The solver returns
+    /// [`SolveError::IterationLimit`] instead of running to optimality when
+    /// the cap is hit, so callers can degrade gracefully.
+    pub fn with_iteration_limit(max: u64) -> Self {
+        SolveOptions {
+            simplex: Some(SimplexOptions { max_iterations: max, ..SimplexOptions::default() }),
+            ..SolveOptions::default()
+        }
+    }
+}
+
 /// Which mutation classes are pending since the last solve.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Mutations {

@@ -47,6 +47,17 @@ impl UsageTracker {
         self.usage[e.index()][t]
     }
 
+    /// Total volume carried by edge `e` over `[from, to)` (clamped to the
+    /// horizon). Used by the fault reports to compare traffic on a link
+    /// before, during, and after an injected outage.
+    pub fn volume_on(&self, e: EdgeId, from: Timestep, to: Timestep) -> f64 {
+        let to = to.min(self.horizon);
+        if from >= to {
+            return 0.0;
+        }
+        self.usage[e.index()][from..to].iter().sum()
+    }
+
     /// Usage slice for a window.
     pub fn window(&self, e: EdgeId, grid: &TimeGrid, w: usize) -> &[f64] {
         let r = grid.window_range(w);
@@ -195,6 +206,18 @@ mod tests {
         u.record(e, 0, 4.0);
         u.record(e, 3, 6.0);
         assert!((u.total_cost(&net, &grid) - 2.0 * (4.0 + 6.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn volume_on_sums_range_and_clamps() {
+        let (_, e) = net_one_pct_edge();
+        let mut u = UsageTracker::new(1, 4);
+        u.record(e, 0, 1.0);
+        u.record(e, 1, 2.0);
+        u.record(e, 3, 4.0);
+        assert_eq!(u.volume_on(e, 0, 2), 3.0);
+        assert_eq!(u.volume_on(e, 1, 100), 6.0); // clamped to horizon
+        assert_eq!(u.volume_on(e, 2, 2), 0.0); // empty range
     }
 
     #[test]

@@ -5,6 +5,8 @@
 //!
 //! * [`scenario`] — seeded world generation (topology + trace + requests)
 //!   so every scheme replays identical inputs.
+//! * [`faults`] — seeded fault schedules (link failures, degradations,
+//!   surges, solver pressure) replayed against a live run (§4.4).
 //! * [`runner`] — the online Pretium replay loop (RA at arrivals, SAM per
 //!   timestep, PC per window) and the Figure 11 ablation variants.
 //! * [`experiments`] — one regenerator per table/figure of §6.
@@ -12,6 +14,7 @@
 //! * [`report`] — plain-text rendering of figures/tables.
 
 pub mod experiments;
+pub mod faults;
 pub mod incentives;
 pub mod par;
 pub mod registry;
@@ -20,9 +23,10 @@ pub mod runner;
 pub mod scenario;
 
 pub use experiments::{compare_schemes, compare_schemes_jobs, Comparison};
+pub use faults::{FaultEvent, FaultPlan, FaultPlanConfig};
 pub use incentives::{analyze_deviations, Deviation, DeviationReport};
 pub use par::{default_jobs, run_cells, Cell};
 pub use registry::{registry, Experiment, ExperimentResult, Sweep};
 pub use report::{render_ascii_plot, render_figure, render_table, Series};
-pub use runner::{run_pretium, PretiumRun, Variant};
+pub use runner::{run_pretium, run_pretium_faulted, PretiumRun, Variant};
 pub use scenario::{Scenario, ScenarioConfig};

@@ -24,9 +24,10 @@
 //! `bin/reproduce` enumerates it instead of hard-coding the figure list.
 
 use crate::experiments::{self, ModuleRuntimes, LOAD_FACTORS};
+use crate::faults::{FaultPlan, FaultPlanConfig};
 use crate::par::{self, Cell};
 use crate::report::{render_figure, render_table, Series};
-use crate::runner::{run_pretium, Variant};
+use crate::runner::{run_pretium, run_pretium_faulted, Variant};
 use crate::scenario::ScenarioConfig;
 use pretium_baselines as baselines;
 use pretium_baselines::{OfflineConfig, Outcome, PricedOfflineConfig};
@@ -98,11 +99,48 @@ pub struct Metrics {
     pub completion: f64,
 }
 
+/// Absolute robustness metrics of one faulted Pretium run (the
+/// availability-sweep cells). Welfare relativization to the healthy
+/// (rate 0) point happens at merge time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustnessMetrics {
+    pub welfare: f64,
+    /// Admitted contracts that carried a nonzero guarantee.
+    pub guaranteed: u64,
+    /// Guaranteed contracts whose original promise was missed (every one
+    /// must be ledgered — the runner's audit enforces it).
+    pub violations: u64,
+    /// Ledger composition: guarantees shed wholly vs relaxed partially.
+    pub shed: u64,
+    pub relaxed: u64,
+    /// Total λ-weighted penalty booked in the violation ledger.
+    pub penalty: f64,
+    /// Timesteps SAM ran against a degraded topology.
+    pub degraded_steps: u64,
+    /// PC runs skipped because the look-back window was contaminated.
+    pub pc_freezes: u64,
+    /// Planned units moved off their slot while a fault was active.
+    pub rerouted_units: f64,
+}
+
+impl RobustnessMetrics {
+    /// Fraction of guaranteed contracts whose promise was missed.
+    pub fn violation_rate(&self) -> f64 {
+        if self.guaranteed == 0 {
+            return 0.0;
+        }
+        self.violations as f64 / self.guaranteed as f64
+    }
+}
+
 /// What one cell carries into `run_cell`.
 #[derive(Debug, Clone)]
 pub enum CellPayload {
     /// One scheme solve on one scenario (the sweep-grid case).
     Scheme { config: Box<ScenarioConfig>, scheme: Scheme, cost_scale: f64 },
+    /// One faulted Pretium run at a given failure rate (the availability
+    /// sweep). The fault plan is derived from the cell seed at run time.
+    Robustness { config: Box<ScenarioConfig>, failure_rate: f64 },
     /// Experiment-defined work; `run_cell` dispatches on the cell label
     /// (single-cell figures like the Figure 1 CDF).
     Free,
@@ -127,6 +165,7 @@ pub struct CellSpec {
 #[derive(Debug, Clone, PartialEq)]
 pub enum CellOut {
     Metrics(Metrics),
+    Robustness(RobustnessMetrics),
     Text(String),
 }
 
@@ -134,14 +173,21 @@ impl CellOut {
     fn metrics(&self) -> &Metrics {
         match self {
             CellOut::Metrics(m) => m,
-            CellOut::Text(_) => unreachable!("sweep merge over a text cell"),
+            _ => unreachable!("sweep merge over a non-metrics cell"),
+        }
+    }
+
+    fn robustness(&self) -> &RobustnessMetrics {
+        match self {
+            CellOut::Robustness(m) => m,
+            _ => unreachable!("robustness merge over a non-robustness cell"),
         }
     }
 
     fn into_text(self) -> String {
         match self {
             CellOut::Text(s) => s,
-            CellOut::Metrics(_) => unreachable!("text merge over a metrics cell"),
+            _ => unreachable!("text merge over a non-text cell"),
         }
     }
 }
@@ -273,6 +319,36 @@ pub fn run_scheme_cell(
     })
 }
 
+/// Solve one faulted Pretium run: generate the fault plan from the cell
+/// seed, replay it, and distill the run into [`RobustnessMetrics`].
+pub fn run_robustness_cell(
+    config: &ScenarioConfig,
+    failure_rate: f64,
+    cell_seed: u64,
+) -> Result<RobustnessMetrics, SolveError> {
+    let scenario = config.build();
+    let fault_cfg =
+        FaultPlanConfig::availability(rand::derive_seed(cell_seed, "faults"), failure_rate);
+    let plan = FaultPlan::for_scenario(&scenario, &fault_cfg);
+    let run = run_pretium_faulted(&scenario, PretiumConfig::default(), Variant::Full, &plan)?;
+    let guaranteed_contracts = || run.system.contracts().iter().filter(|c| c.guaranteed > 1e-9);
+    let violations = guaranteed_contracts().filter(|c| !c.guarantee_met()).count() as u64;
+    let ledger = run.system.ledger();
+    let (shed, relaxed) = ledger.counts();
+    let t = run.telemetry();
+    Ok(RobustnessMetrics {
+        welfare: run.outcome.welfare(&scenario.requests, &scenario.net, &scenario.grid, 1.0),
+        guaranteed: guaranteed_contracts().count() as u64,
+        violations,
+        shed: shed as u64,
+        relaxed: relaxed as u64,
+        penalty: ledger.total_penalty(),
+        degraded_steps: t.degraded_steps,
+        pc_freezes: t.pc_freezes,
+        rerouted_units: t.rerouted_units,
+    })
+}
+
 // ---------------------------------------------------------------------------
 // The Sweep builder.
 // ---------------------------------------------------------------------------
@@ -350,7 +426,7 @@ impl<P> Sweep<P> {
             CellPayload::Scheme { config, scheme, cost_scale } => {
                 run_scheme_cell(config, *scheme, *cost_scale).map(CellOut::Metrics)
             }
-            CellPayload::Free => unreachable!("sweep experiments declare scheme cells only"),
+            _ => unreachable!("sweep experiments declare scheme cells only"),
         }
     }
 
@@ -963,6 +1039,87 @@ fn run_incentives(scale: Scale, seed: u64, _part: &str) -> Result<String, SolveE
 }
 
 // ---------------------------------------------------------------------------
+// The availability (robustness) sweep.
+// ---------------------------------------------------------------------------
+
+/// Failure rates the robustness sweep evaluates (probability per
+/// (edge, window) of an outage starting). Rate 0 is the healthy baseline
+/// every other point's welfare is normalized against.
+pub const FAILURE_RATES: [f64; 4] = [0.0, 0.1, 0.25, 0.5];
+
+/// §4.4 robustness: welfare retention and guarantee-violation rate vs the
+/// injected link-failure rate. One faulted Pretium run per rate; worlds are
+/// shared across rates (same scenario seed) so only the fault plan varies,
+/// and each cell's fault plan derives from the cell seed — the whole sweep
+/// is bit-identical across `--jobs` counts like every other experiment.
+pub struct AvailabilitySweep {
+    scale: Scale,
+    rates: Vec<f64>,
+}
+
+impl AvailabilitySweep {
+    pub fn new(scale: Scale, rates: &[f64]) -> Self {
+        AvailabilitySweep { scale, rates: rates.to_vec() }
+    }
+}
+
+impl Experiment for AvailabilitySweep {
+    fn name(&self) -> &'static str {
+        "robustness"
+    }
+
+    fn aliases(&self) -> &'static [&'static str] {
+        &["availability", "faults"]
+    }
+
+    fn cells(&self, seed: u64) -> Vec<CellSpec> {
+        self.rates
+            .iter()
+            .map(|&rate| {
+                let label = format!("robustness/rate={rate}/Pretium");
+                CellSpec {
+                    seed: rand::derive_seed(seed, &label),
+                    label,
+                    x: rate,
+                    // Load 2 (the fig7 operating point): the network is
+                    // contended, so an outage cannot always be rerouted
+                    // around and the degradation chain actually engages.
+                    payload: CellPayload::Robustness {
+                        config: Box::new(self.scale.config(seed, 2.0)),
+                        failure_rate: rate,
+                    },
+                }
+            })
+            .collect()
+    }
+
+    fn run_cell(&self, cell: &CellSpec) -> Result<CellOut, SolveError> {
+        match &cell.payload {
+            CellPayload::Robustness { config, failure_rate } => {
+                run_robustness_cell(config, *failure_rate, cell.seed).map(CellOut::Robustness)
+            }
+            _ => unreachable!("robustness declares robustness cells only"),
+        }
+    }
+
+    fn merge(&self, cells: &[CellSpec], outs: Vec<CellOut>) -> ExperimentResult {
+        let healthy = outs[0].robustness().welfare;
+        let denom = if healthy.abs() > 1e-9 { healthy } else { 1.0 };
+        let mut series: Vec<Series> = Vec::new();
+        for (cell, out) in cells.iter().zip(&outs) {
+            let m = out.robustness();
+            push_point(&mut series, "welfare (rel. healthy)", cell.x, m.welfare / denom);
+            push_point(&mut series, "violation rate", cell.x, m.violation_rate());
+        }
+        ExperimentResult::Figure {
+            title: "Robustness: welfare & guarantee violations vs failure rate".into(),
+            x_label: "failure rate".into(),
+            series,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The registry and the parallel suite runner.
 // ---------------------------------------------------------------------------
 
@@ -996,6 +1153,7 @@ pub fn registry_at(scale: Scale) -> Vec<Arc<dyn Experiment>> {
         Arc::new(Fig13Values::new(scale, &[1.0, 2.0, 4.0])),
         Arc::new(TextExperiment::new("table4", &[], scale, &[""], run_table4)),
         Arc::new(TextExperiment::new("incentives", &[], scale, &[""], run_incentives)),
+        Arc::new(AvailabilitySweep::new(scale, &FAILURE_RATES)),
     ]
 }
 
@@ -1091,6 +1249,29 @@ mod tests {
         let again = exp.cells(rand::DEFAULT_SEED);
         assert_eq!(cells[3].seed, again[3].seed);
         assert_ne!(cells[0].seed, cells[1].seed);
+    }
+
+    #[test]
+    fn robustness_sweep_runs_faulted_and_normalizes_to_healthy() {
+        let exp = AvailabilitySweep::new(Scale::Tiny, &[0.0, 0.4]);
+        let cells = exp.cells(rand::DEFAULT_SEED);
+        assert_eq!(cells.len(), 2);
+        let outs: Vec<CellOut> = cells.iter().map(|c| exp.run_cell(c).unwrap()).collect();
+        // The faulted cell must actually stress the system (rate 0.4 on a
+        // 10-edge tiny world essentially guarantees at least one outage).
+        let faulted = outs[1].robustness();
+        assert!(faulted.degraded_steps > 0, "{faulted:?}");
+        // Every missed guarantee must be backed by ledger entries (counted
+        // here; the in-run audit enforces the per-contract accounting).
+        if faulted.violations > 0 {
+            assert!(faulted.shed + faulted.relaxed > 0, "{faulted:?}");
+            assert!(faulted.penalty > 0.0, "{faulted:?}");
+        }
+        let merged = exp.merge(&cells, outs);
+        let series = merged.series().expect("robustness merges to a figure");
+        assert_eq!(series.len(), 2);
+        assert!((series[0].points[0].1 - 1.0).abs() < 1e-9, "healthy point normalizes to 1");
+        assert_eq!(series[1].points[0].1, 0.0, "healthy run has no violations");
     }
 
     #[test]

@@ -3,11 +3,16 @@
 //! prescribes — RA at every arrival, SAM every timestep, PC at every
 //! window boundary.
 
+use crate::faults::FaultPlan;
 use crate::scenario::Scenario;
 use pretium_baselines::Outcome;
 use pretium_core::{Pretium, PretiumConfig, RequestParams};
 use pretium_lp::{SessionStats, SolveError};
 use pretium_net::UsageTracker;
+
+/// Sentinel request index for contracts that did not come from the
+/// scenario's request stream (fault-plan surge traffic).
+const SURGE_SENTINEL: usize = usize::MAX;
 
 /// Which user-response / module configuration to run (Figure 11 ablations).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,7 +85,30 @@ pub fn run_pretium(
     cfg: PretiumConfig,
     variant: Variant,
 ) -> Result<PretiumRun, SolveError> {
-    let warm = run_pretium_cold(scenario, cfg.clone(), variant, None)?;
+    run_pretium_with_faults(scenario, cfg, variant, None)
+}
+
+/// Replay `scenario` under an injected [`FaultPlan`] (§4.4 robustness).
+///
+/// The warm-up pass runs *healthy* — prices are learned from the intact
+/// topology, as a deployment's price history predates the fault — and only
+/// the measured pass replays the plan.
+pub fn run_pretium_faulted(
+    scenario: &Scenario,
+    cfg: PretiumConfig,
+    variant: Variant,
+    plan: &FaultPlan,
+) -> Result<PretiumRun, SolveError> {
+    run_pretium_with_faults(scenario, cfg, variant, Some(plan))
+}
+
+fn run_pretium_with_faults(
+    scenario: &Scenario,
+    cfg: PretiumConfig,
+    variant: Variant,
+    faults: Option<&FaultPlan>,
+) -> Result<PretiumRun, SolveError> {
+    let warm = run_pretium_cold(scenario, cfg.clone(), variant, None, None)?;
     let w = scenario.grid.steps_per_window;
     let last_window_start = scenario.horizon - w;
     let pattern: Vec<Vec<f64>> = scenario
@@ -88,16 +116,20 @@ pub fn run_pretium(
         .edge_ids()
         .map(|e| (0..w).map(|s| warm.system.state().price(e, last_window_start + s)).collect())
         .collect();
-    run_pretium_cold(scenario, cfg, variant, Some(&pattern))
+    run_pretium_cold(scenario, cfg, variant, Some(&pattern), faults)
 }
 
 /// Replay `scenario` through Pretium starting from the given price pattern
 /// (per edge, per step-in-window), or from cold-start floors when `None`.
+/// A [`FaultPlan`] replays its events against the live system: capacity
+/// events fire before each step's admissions, and surge requests are quoted
+/// and admitted after the step's scenario arrivals.
 pub fn run_pretium_cold(
     scenario: &Scenario,
     cfg: PretiumConfig,
     variant: Variant,
     seed_pattern: Option<&[Vec<f64>]>,
+    faults: Option<&FaultPlan>,
 ) -> Result<PretiumRun, SolveError> {
     let mut cfg = cfg;
     if variant == Variant::NoSam {
@@ -118,6 +150,17 @@ pub fn run_pretium_cold(
     let mut prev_delivered: Vec<f64> = Vec::new();
 
     for t in 0..scenario.horizon {
+        // Scheduled faults fire first: an outage starting at `t` must be
+        // visible to everything that runs at `t` (PC freeze checks, quotes,
+        // SAM re-planning). A capacity event triggers an immediate SAM
+        // re-optimization — until SAM re-plans, reservations on the dead
+        // link are stale and quotes would be made against a broken state.
+        if let Some(plan) = faults {
+            plan.apply_step(&mut system, t);
+            if plan.capacity_event_at(t) {
+                system.run_sam(t, &usage)?;
+            }
+        }
         // Price computer at window boundaries (not at t=0: nothing to
         // learn yet).
         if scenario.grid.step_in_window(t) == 0 && t > 0 {
@@ -139,6 +182,19 @@ pub fn run_pretium_cold(
             }
             next_req += 1;
         }
+        // Surge traffic injected by the fault plan: admitted through the
+        // same quote/accept path as real arrivals, but accounted outside
+        // the scenario's request indices (see SURGE_SENTINEL).
+        if let Some(plan) = faults {
+            for r in plan.surges_at(t) {
+                let params = RequestParams::from(r);
+                let menu = system.quote(&params);
+                let units = menu.optimal_purchase(r.value, r.demand);
+                if system.accept(&params, &menu, units).is_some() {
+                    contract_req.push(SURGE_SENTINEL);
+                }
+            }
+        }
         // Schedule adjustment.
         if t % system.config().sam_every.max(1) == 0 {
             system.run_sam(t, &usage)?;
@@ -158,6 +214,9 @@ pub fn run_pretium_cold(
 
     let mut contract_of_request: Vec<Option<usize>> = vec![None; n];
     for (ci, &ri) in contract_req.iter().enumerate() {
+        if ri == SURGE_SENTINEL {
+            continue; // surge traffic: not part of the scenario's outcome
+        }
         outcome.delivered[ri] = system.contracts()[ci].delivered;
         contract_of_request[ri] = Some(ci);
     }

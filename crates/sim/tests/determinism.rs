@@ -57,6 +57,39 @@ fn registry_experiments_are_bit_identical_across_job_counts() {
     }
 }
 
+#[test]
+fn faulted_robustness_cells_are_bit_identical_across_job_counts() {
+    // The availability sweep injects faults mid-run (capacity loss, surge
+    // admissions, SAM fallback waivers, PC freezes) — every one of those
+    // paths must stay a pure function of the cell spec. A serial run and
+    // pooled runs at 1 and 8 workers must agree bitwise.
+    let selected: Vec<_> =
+        registry_at(Scale::Tiny).into_iter().filter(|e| e.name() == "robustness").collect();
+    assert_eq!(selected.len(), 1, "robustness experiment registered");
+    let exp = &selected[0];
+
+    // Serial: run the cells inline, no worker pool at all.
+    let cells = exp.cells(rand::DEFAULT_SEED);
+    let serial_outs: Vec<_> = cells.iter().map(|c| exp.run_cell(c).expect("serial cell")).collect();
+    let serial = exp.merge(&cells, serial_outs);
+
+    let (one, _) = run_experiments(&selected, rand::DEFAULT_SEED, 1).expect("jobs=1 run");
+    let (eight, _) = run_experiments(&selected, rand::DEFAULT_SEED, 8).expect("jobs=8 run");
+    assert_eq!(one.len(), 1);
+    assert_eq!(one[0].1, serial, "jobs=1 diverged from serial");
+    assert_eq!(eight[0].1, serial, "jobs=8 diverged from serial");
+    assert_eq!(one[0].1.render(), serial.render());
+
+    // The faulted points must actually differ from the healthy baseline —
+    // otherwise this test pins a no-op.
+    let series = serial.series().expect("robustness is a figure");
+    let welfare = &series[0].points;
+    assert!(
+        welfare[1..].iter().any(|&(_, y)| (y - 1.0).abs() > 1e-12),
+        "fault injection changed nothing: {welfare:?}"
+    );
+}
+
 /// Evaluation-scale bitwise guard (slow; run with `--ignored --release`).
 ///
 /// This caught a real bug during development: `std`'s per-thread
