@@ -3,6 +3,7 @@
 use crate::degradation::DegradationPolicy;
 use crate::state::PriceBump;
 use crate::topk::TopkEncoding;
+use pretium_lp::Pricing;
 
 /// Which past window the price computer projects forward (§4.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +52,10 @@ pub struct PretiumConfig {
     /// (§4.4): shed lowest-λ guarantees first, then relax the last one,
     /// booking every waiver in the violation ledger.
     pub degradation: DegradationPolicy,
+    /// Simplex pricing strategy for every LP Pretium solves (RA quotes,
+    /// SAM re-optimization, PC dual pricing). Deterministic given the
+    /// model, so any choice preserves the cross-`--jobs` replay contract.
+    pub pricing: Pricing,
 }
 
 impl Default for PretiumConfig {
@@ -69,6 +74,7 @@ impl Default for PretiumConfig {
             initial_price_scale: 1.0,
             audit: false,
             degradation: DegradationPolicy::ShedThenRelax,
+            pricing: Pricing::default(),
         }
     }
 }
@@ -87,6 +93,7 @@ mod tests {
         // Release-build auditing is opt-in (debug builds always audit).
         assert!(!c.audit);
         assert_eq!(c.degradation, DegradationPolicy::ShedThenRelax);
+        assert_eq!(c.pricing, Pricing::PartialDevex);
     }
 
     #[test]

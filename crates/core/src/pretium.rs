@@ -14,7 +14,7 @@ use crate::menu::{build_menu, PriceMenu};
 use crate::schedule::{self, Job, ScheduleProblem, ScheduleSession};
 use crate::state::NetworkState;
 use crate::telemetry::Telemetry;
-use pretium_lp::{SessionStats, SolveError, SolveOptions};
+use pretium_lp::{SessionStats, SimplexOptions, SolveError, SolveOptions};
 use pretium_net::{EdgeId, Network, Path, PathSet, TimeGrid, Timestep, UsageTracker};
 use rand::{DetHashMap as HashMap, DetHashSet as HashSet};
 use std::time::Instant;
@@ -174,6 +174,28 @@ impl Pretium {
     /// freezes prices rather than learn from such windows).
     pub fn window_contaminated(&self, w: usize) -> bool {
         self.fault_windows.contains(&w)
+    }
+
+    /// Solve options carrying the configured pricing strategy (PC and any
+    /// other uncapped LP).
+    fn pricing_opts(&self) -> SolveOptions {
+        SolveOptions {
+            simplex: Some(SimplexOptions {
+                pricing: self.cfg.pricing,
+                ..SimplexOptions::default()
+            }),
+            ..SolveOptions::default()
+        }
+    }
+
+    /// SAM's solve options: the pricing strategy plus, when the
+    /// solver-pressure fault is injected, the iteration cap.
+    fn sam_opts(&self) -> SolveOptions {
+        let mut o = self.pricing_opts();
+        if let Some(limit) = self.solver_pressure {
+            o.simplex.as_mut().expect("pricing_opts sets simplex").max_iterations = limit;
+        }
+        o
     }
 
     /// Sweep every invariant now and record violations. Runs after each
@@ -371,11 +393,10 @@ impl Pretium {
                 carry.push_contract(i);
             }
         }
-        // Solver-pressure fault (§4.4): cap the simplex when injected.
-        let opts = match self.solver_pressure {
-            Some(limit) => SolveOptions::with_iteration_limit(limit),
-            None => SolveOptions::default(),
-        };
+        // Configured pricing strategy, plus the solver-pressure iteration
+        // cap when that fault (§4.4) is injected.
+        let opts = self.sam_opts();
+        let lp_before = carry.sess.lp_stats();
         let result = {
             let state = &self.state;
             let capacity = |e: EdgeId, t: Timestep| state.sellable_capacity(e, t);
@@ -535,6 +556,9 @@ impl Pretium {
             }
             self.telemetry.rerouted_units += moved;
         }
+        let lp_after = carry.sess.lp_stats();
+        self.telemetry.lp_iterations += lp_after.iterations - lp_before.iterations;
+        self.telemetry.lp_pricing_scans += lp_after.pricing_scans - lp_before.pricing_scans;
         self.sam = Some(carry);
         self.telemetry.sam.record(t0.elapsed());
         self.run_audit(AuditPoint::Sam, now);
@@ -652,8 +676,10 @@ impl Pretium {
             topk: self.cfg.topk,
             cost_scale: self.cfg.cost_scale,
         };
-        let sol = schedule::solve(&problem)?;
+        let sol = schedule::solve_with(&problem, &self.pricing_opts())?;
         self.lp_stats.merge(sol.lp_stats);
+        self.telemetry.lp_iterations += sol.lp_stats.iterations;
+        self.telemetry.lp_pricing_scans += sol.lp_stats.pricing_scans;
         // Reference window: the pattern carried into the future.
         let ref_start = self.grid.window_start(w_now - back);
         for e in self.net.edge_ids() {

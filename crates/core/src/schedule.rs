@@ -243,8 +243,17 @@ pub struct ScheduleSession {
 /// Solve the scheduling LP once (PC, baselines). SAM holds a
 /// [`ScheduleSession`] instead and re-solves it incrementally.
 pub fn solve(problem: &ScheduleProblem<'_>) -> Result<ScheduleSolution, SolveError> {
+    solve_with(problem, &SolveOptions::default())
+}
+
+/// Like [`solve`] but with explicit solver options (e.g. a pricing
+/// strategy from [`crate::PretiumConfig::pricing`]).
+pub fn solve_with(
+    problem: &ScheduleProblem<'_>,
+    opts: &SolveOptions,
+) -> Result<ScheduleSolution, SolveError> {
     let mut s = ScheduleSession::new(problem);
-    s.solve_step(problem.net, problem.capacity, problem.realized)
+    s.solve_step_with(problem.net, problem.capacity, problem.realized, opts)
 }
 
 impl ScheduleSession {

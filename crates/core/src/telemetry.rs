@@ -178,6 +178,12 @@ pub struct Telemetry {
     /// PC runs skipped because the look-back window was contaminated by a
     /// fault (prices frozen rather than learned from a broken topology).
     pub pc_freezes: u64,
+    /// Simplex iterations across every LP this instance solved (SAM
+    /// re-optimizations, degradation re-solves, PC pricing LPs).
+    pub lp_iterations: u64,
+    /// Pricing work behind those iterations: columns examined by entering
+    /// selection plus columns touched by incremental pivot-row updates.
+    pub lp_pricing_scans: u64,
 }
 
 impl Telemetry {
@@ -211,6 +217,8 @@ impl Telemetry {
             ("rerouted units".into(), format!("{:.1}", self.rerouted_units)),
             ("degraded steps".into(), self.degraded_steps.to_string()),
             ("pc freezes".into(), self.pc_freezes.to_string()),
+            ("lp iterations".into(), self.lp_iterations.to_string()),
+            ("lp pricing scans".into(), self.lp_pricing_scans.to_string()),
         ]
     }
 }
@@ -273,11 +281,13 @@ mod tests {
     fn rows_cover_every_counter() {
         let t = Telemetry::default();
         let rows = t.rows();
-        assert_eq!(rows.len(), 19);
+        assert_eq!(rows.len(), 21);
         assert!(rows.iter().any(|(k, _)| k.starts_with("run_sam")));
         assert!(rows.iter().any(|(k, _)| k == "audit violations"));
         assert!(rows.iter().any(|(k, _)| k == "guarantees shed"));
         assert!(rows.iter().any(|(k, _)| k == "rerouted units"));
         assert!(rows.iter().any(|(k, _)| k == "pc freezes"));
+        assert!(rows.iter().any(|(k, _)| k == "lp iterations"));
+        assert!(rows.iter().any(|(k, _)| k == "lp pricing scans"));
     }
 }

@@ -18,10 +18,15 @@
 //!   simplex after RHS/bound changes or appended rows, cold only when the
 //!   basis cannot be reused. [`Model::solve`] remains as a one-shot
 //!   convenience.
-//! * [`simplex`] — bounded-variable revised simplex: dense `LU` basis
-//!   factorization with a product-form eta file, crash basis, two phases,
-//!   Dantzig pricing with a Bland's-rule anti-cycling fallback, and a
-//!   bounded-variable dual simplex for warm restarts.
+//! * [`simplex`] — bounded-variable revised simplex: sparse
+//!   triangular-plus-bump `LU` basis factorization with a product-form eta
+//!   file, crash basis, two phases, and a bounded-variable dual simplex for
+//!   warm restarts. Pricing is selectable via [`SimplexOptions::pricing`]:
+//!   classic full-scan Dantzig, Devex reference-framework weights over
+//!   incrementally maintained reduced costs, or (the default) partial Devex
+//!   with a cyclic candidate list so a pivot prices O(section + candidates)
+//!   columns instead of O(n). A Bland's-rule anti-cycling fallback guards
+//!   every strategy.
 //! * [`lazy`] — violated-row generation: solve with a subset of rows and
 //!   add capacity rows only when a tentative optimum violates them. The
 //!   schedule LPs in Pretium have `|E|·T` capacity rows of which only a few
@@ -81,5 +86,5 @@ pub use lazy::solve_with_rows;
 pub use lazy::{LazyOutcome, RowGen, RowRequest};
 pub use model::{Cmp, Model, RowId, Sense};
 pub use session::{Mutations, SessionStats, SolveOptions, SolverSession};
-pub use simplex::{Restart, SimplexOptions};
+pub use simplex::{Pricing, Restart, SimplexOptions};
 pub use solution::{Solution, SolveError, Status};

@@ -111,12 +111,19 @@ pub struct SessionStats {
     pub warm_dual: u64,
     /// Total simplex iterations across all solves.
     pub iterations: u64,
+    /// Total pricing work across all solves: columns examined by entering
+    /// selection plus columns touched by incremental pivot-row updates.
+    pub pricing_scans: u64,
+    /// Iterations priced under the Bland's-rule anti-cycling fallback.
+    pub bland_pivots: u64,
 }
 
 impl SessionStats {
-    fn record(&mut self, restart: Restart, iterations: u64) {
+    fn record(&mut self, restart: Restart, solution: &Solution) {
         self.solves += 1;
-        self.iterations += iterations;
+        self.iterations += solution.iterations();
+        self.pricing_scans += solution.pricing_scans();
+        self.bland_pivots += solution.bland_pivots();
         match restart {
             Restart::Cold => self.cold_starts += 1,
             Restart::WarmPrimal => self.warm_primal += 1,
@@ -140,6 +147,23 @@ impl SessionStats {
         self.warm_primal += other.warm_primal;
         self.warm_dual += other.warm_dual;
         self.iterations += other.iterations;
+        self.pricing_scans += other.pricing_scans;
+        self.bland_pivots += other.bland_pivots;
+    }
+
+    /// Labelled counter rows for table rendering (`(label, value)`), in a
+    /// stable order.
+    pub fn rows(&self) -> Vec<(String, String)> {
+        vec![
+            ("lp solves".into(), self.solves.to_string()),
+            ("cold starts".into(), self.cold_starts.to_string()),
+            ("warm primal".into(), self.warm_primal.to_string()),
+            ("warm dual".into(), self.warm_dual.to_string()),
+            ("iterations".into(), self.iterations.to_string()),
+            ("pricing scans".into(), self.pricing_scans.to_string()),
+            ("bland pivots".into(), self.bland_pivots.to_string()),
+            ("warm fraction".into(), format!("{:.3}", self.warm_fraction())),
+        ]
     }
 }
 
@@ -327,7 +351,7 @@ impl SolverSession {
         let warm = if opts.force_cold { None } else { self.basis.as_ref() };
         let (solution, basis, restart) = solve_model_session(&self.model, &simplex, warm)?;
         self.basis = Some(basis);
-        self.stats.record(restart, solution.iterations());
+        self.stats.record(restart, &solution);
         self.last_restart = Some(restart);
         self.pending = Mutations::default();
         self.solved_vars = self.model.num_vars();

@@ -267,13 +267,19 @@ impl Factorization {
 
     /// Solve `B·w = a` where `a` is a sparse column in original row
     /// coordinates. The result is dense, indexed by basis *position*.
-    pub fn ftran(&self, a: &SparseCol, out: &mut Vec<f64>) {
-        let m = self.m;
-        let mut dense = std::mem::take(&mut vec![0.0; m]);
+    pub fn ftran(&mut self, a: &SparseCol, out: &mut Vec<f64>) {
+        // Borrow the reusable scratch buffer for the dense scatter; only
+        // the entries of `a` are re-zeroed before it is handed back.
+        let mut dense = std::mem::take(&mut self.scratch);
+        dense.resize(self.m, 0.0);
         for &(i, v) in a.iter() {
             dense[i as usize] = v;
         }
         self.ftran_dense(&dense, out);
+        for &(i, _) in a.iter() {
+            dense[i as usize] = 0.0;
+        }
+        self.scratch = dense;
     }
 
     /// Like [`Factorization::ftran`] but with a dense right-hand side in
@@ -429,7 +435,6 @@ impl Factorization {
             .map(|(j, &v)| (j as u32, v))
             .collect();
         self.etas.push(Eta { pos, pivot, other });
-        let _ = &self.scratch;
         true
     }
 }
@@ -475,7 +480,7 @@ mod tests {
     #[test]
     fn ftran_identity() {
         let cols = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
-        let f = factor_of(&cols);
+        let mut f = factor_of(&cols);
         let mut w = Vec::new();
         f.ftran(&col(&[(0, 3.0), (1, 4.0)]), &mut w);
         assert_eq!(w, vec![3.0, 4.0]);
@@ -484,7 +489,7 @@ mod tests {
     #[test]
     fn ftran_solves_general_3x3() {
         let cols = vec![vec![2.0, 1.0, 0.0], vec![0.0, 3.0, 1.0], vec![1.0, 0.0, 2.0]];
-        let f = factor_of(&cols);
+        let mut f = factor_of(&cols);
         let a = col(&[(0, 5.0), (1, 4.0), (2, 3.0)]);
         let mut w = Vec::new();
         f.ftran(&a, &mut w);
@@ -577,7 +582,7 @@ mod tests {
         let rhs = col(&[(0, 2.0), (1, 7.0), (2, 5.0)]);
         let mut via_eta = Vec::new();
         f.ftran(&rhs, &mut via_eta);
-        let fresh = factor_of(&newb);
+        let mut fresh = factor_of(&newb);
         let mut via_fresh = Vec::new();
         fresh.ftran(&rhs, &mut via_fresh);
         for (a, b) in via_eta.iter().zip(&via_fresh) {

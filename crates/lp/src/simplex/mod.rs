@@ -21,6 +21,29 @@ use crate::model::{Cmp, Model, Sense};
 use crate::solution::{Solution, SolveError, Status};
 use basis::SparseCol;
 
+/// Entering-variable pricing strategy for the primal simplex.
+///
+/// Every strategy is a pure function of `(options, model)` — no clocks, no
+/// randomness — so solves stay bit-identical across processes and worker
+/// counts (the determinism contract of the parallel evaluation engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Pricing {
+    /// Textbook full pricing: recompute `y = c_B B⁻¹` and every nonbasic
+    /// reduced cost each iteration, enter the most negative. `O(n · nnz)`
+    /// per pivot; kept as the reference baseline.
+    Dantzig,
+    /// Incrementally maintained reduced costs (updated from the BTRAN'd
+    /// pivot row after each pivot) scored by Devex reference-framework
+    /// weights. Selection still considers every nonbasic column per pivot,
+    /// but reads the maintained `d[j]` instead of recomputing dot products.
+    Devex,
+    /// Devex weights plus cyclic partial pricing: column sections are
+    /// scanned in rotation to keep a shortlist of attractive candidates,
+    /// so one pivot prices `O(section + candidates)` columns.
+    #[default]
+    PartialDevex,
+}
+
 /// Tunable solver parameters.
 #[derive(Debug, Clone)]
 pub struct SimplexOptions {
@@ -38,6 +61,8 @@ pub struct SimplexOptions {
     pub refactor_every: usize,
     /// Consecutive degenerate pivots before switching to Bland's rule.
     pub bland_trigger: u32,
+    /// Entering-variable pricing strategy.
+    pub pricing: Pricing,
 }
 
 impl Default for SimplexOptions {
@@ -49,6 +74,7 @@ impl Default for SimplexOptions {
             max_iterations: 0,
             refactor_every: 96,
             bland_trigger: 1000,
+            pricing: Pricing::default(),
         }
     }
 }
@@ -194,6 +220,8 @@ fn finish_solution(model: &Model, problem: &Problem, outcome: &solver::Outcome) 
         duals,
         reduced_costs,
         iterations: outcome.iterations,
+        pricing_scans: outcome.pricing_scans,
+        bland_pivots: outcome.bland_pivots,
     }
 }
 
@@ -278,12 +306,19 @@ pub(crate) fn solve_model_session(
     options: &SimplexOptions,
     warm: Option<&WarmBasis>,
 ) -> Result<(Solution, WarmBasis, Restart), SolveError> {
+    // Row-major mirror of the structural matrix. The model's own row
+    // storage *is* the mirror — `RowData.terms` holds each row's
+    // `(column, coefficient)` terms sorted by column, grown incrementally
+    // by `add_row`/`add_term`/`append_with` — so the solver borrows
+    // per-row slice views instead of duplicating the matrix. Slack and
+    // artificial entries are implicit singletons handled by the solver.
+    let row_terms: Vec<&[(u32, f64)]> = model.rows.iter().map(|r| r.terms.as_slice()).collect();
     if let Some(w) = warm {
         let mut problem = Problem::from_model(model);
         if let Some((basis, nb)) = resolve_warm(&mut problem, w) {
             let (rows, vars) = name_fns(model);
             if let Ok((outcome, used_dual)) =
-                solver::run_warm(&mut problem, options, basis, nb, rows, vars)
+                solver::run_warm(&mut problem, &row_terms, options, basis, nb, rows, vars)
             {
                 let solution = finish_solution(model, &problem, &outcome);
                 let basis = snapshot(&problem, &outcome);
@@ -297,7 +332,7 @@ pub(crate) fn solve_model_session(
     let attempt = |options: &SimplexOptions| -> Result<(solver::Outcome, Problem), SolveError> {
         let mut problem = Problem::from_model(model);
         let (rows, vars) = name_fns(model);
-        let out = solver::run(&mut problem, options, rows, vars)?;
+        let out = solver::run(&mut problem, &row_terms, options, rows, vars)?;
         Ok((out, problem))
     };
     let (outcome, problem) = match attempt(options) {

@@ -7,8 +7,14 @@
 //! after a run of degenerate pivots.
 
 use super::basis::{FactorError, Factorization};
-use super::{Problem, SimplexOptions};
+use super::{Pricing, Problem, SimplexOptions};
 use crate::solution::SolveError;
+
+/// Row-major view of the structural matrix: for each row, its
+/// `(column, coefficient)` terms sorted by column. Slack and artificial
+/// entries are implicit (`slack_start + i` with coefficient 1, and the
+/// artificial's crash-time sign from `Problem::cols`).
+pub(crate) type RowTerms<'a> = &'a [(u32, f64)];
 
 /// Where a nonbasic variable currently rests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,6 +36,11 @@ pub(crate) struct Outcome {
     pub basis: Vec<usize>,
     /// Rest state of every column (meaningful for nonbasic ones).
     pub nb: Vec<NbState>,
+    /// Columns examined by pricing (selection scans plus incremental
+    /// pivot-row update touches).
+    pub pricing_scans: u64,
+    /// Iterations priced under the Bland's-rule anti-cycling fallback.
+    pub bland_pivots: u64,
 }
 
 impl Outcome {
@@ -55,6 +66,9 @@ enum Step {
 
 struct State<'a> {
     p: &'a mut Problem,
+    /// Row-major mirror of the structural matrix (shared from the model's
+    /// own row storage), for sparse pivot-row passes.
+    rows: &'a [RowTerms<'a>],
     opts: &'a SimplexOptions,
     /// Basic column per row position.
     basis: Vec<usize>,
@@ -69,13 +83,55 @@ struct State<'a> {
     degenerate_run: u32,
     w: Vec<f64>,
     y: Vec<f64>,
+    // --- incremental pricing state (Devex / PartialDevex) -----------------
+    /// Maintained reduced cost per column: exact after `reprice`, updated
+    /// from the pivot row after each pivot. Basic entries are stale.
+    d: Vec<f64>,
+    /// Devex reference-framework weight per column.
+    gamma: Vec<f64>,
+    /// Candidate shortlist for partial pricing.
+    candidates: Vec<u32>,
+    /// Membership flags for `candidates`.
+    in_cands: Vec<bool>,
+    /// Cyclic column cursor for partial pricing sections.
+    cursor: usize,
+    /// No pivot since the last full reprice: the maintained reduced costs
+    /// are exact, so an empty pricing result is a certified optimum.
+    fresh: bool,
+    // --- scratch buffers reused across iterations -------------------------
+    /// Basic cost vector for BTRAN (hoisted out of the iteration loop).
+    cb: Vec<f64>,
+    /// Pivot row of B⁻¹ in original row coordinates.
+    rho: Vec<f64>,
+    /// Unit vector for the pivot-row BTRAN (kept all-zero between uses).
+    e_r: Vec<f64>,
+    /// Pivot-row entries `alpha_j = rho · a_j`, valid where
+    /// `alpha_stamp[j] == stamp`.
+    alpha: Vec<f64>,
+    alpha_stamp: Vec<u64>,
+    alpha_touched: Vec<u32>,
+    stamp: u64,
+    // --- counters ---------------------------------------------------------
+    scans: u64,
+    bland_pivots: u64,
 }
 
 const ZTOL: f64 = 1e-11;
 const DEGEN_STEP: f64 = 1e-10;
 
+/// Partial pricing: the column range is scanned in sections of
+/// `max(n / SECTIONS, SECTION_MIN)` columns.
+const SECTIONS: usize = 16;
+const SECTION_MIN: usize = 64;
+/// Keep sweeping extra sections while the shortlist holds fewer
+/// candidates than this …
+const CANDS_MIN: usize = 8;
+/// … and trim it back to the best-scoring this many when it overflows.
+const CANDS_MAX: usize = 64;
+
 pub(crate) fn run(
     problem: &mut Problem,
+    rows: &[RowTerms<'_>],
     opts: &SimplexOptions,
     row_name: impl Fn(usize) -> String,
     var_name: impl Fn(usize) -> String,
@@ -135,20 +191,7 @@ pub(crate) fn run(
     };
 
     let factor = Factorization::new(m, opts.refactor_every, opts.pivot_tol);
-    let mut st = State {
-        p: problem,
-        opts,
-        basis,
-        pos_of,
-        x,
-        nb,
-        factor,
-        iterations: 0,
-        max_iterations,
-        degenerate_run: 0,
-        w: Vec::new(),
-        y: Vec::new(),
-    };
+    let mut st = State::new(problem, rows, opts, basis, pos_of, x, nb, factor, max_iterations);
     st.refactor().map_err(|e| numerical(e, &row_name))?;
 
     // --- phase 1 ----------------------------------------------------------
@@ -175,11 +218,20 @@ pub(crate) fn run(
 
     // Final duals from a fresh factorization for accuracy.
     st.refactor().map_err(|e| numerical(e, &row_name))?;
-    let cb: Vec<f64> = st.basis.iter().map(|&k| phase2_cost[k]).collect();
+    st.cb.clear();
+    st.cb.extend(st.basis.iter().map(|&k| phase2_cost[k]));
     let mut y = Vec::new();
-    st.factor.btran(&cb, &mut y);
+    st.factor.btran(&st.cb, &mut y);
 
-    Ok(Outcome { x: st.x, y, iterations: st.iterations, basis: st.basis, nb: st.nb })
+    Ok(Outcome {
+        x: st.x,
+        y,
+        iterations: st.iterations,
+        basis: st.basis,
+        nb: st.nb,
+        pricing_scans: st.scans,
+        bland_pivots: st.bland_pivots,
+    })
 }
 
 /// Re-optimize from a known basis instead of crashing one.
@@ -206,6 +258,7 @@ pub(crate) fn run(
 /// Returns the outcome plus whether the dual simplex was needed.
 pub(crate) fn run_warm(
     problem: &mut Problem,
+    rows: &[RowTerms<'_>],
     opts: &SimplexOptions,
     basis: Vec<usize>,
     mut nb: Vec<NbState>,
@@ -253,20 +306,7 @@ pub(crate) fn run_warm(
         20_000 + 100 * (m as u64 + problem.nstruct as u64)
     };
     let factor = Factorization::new(m, opts.refactor_every, opts.pivot_tol);
-    let mut st = State {
-        p: problem,
-        opts,
-        basis,
-        pos_of,
-        x,
-        nb,
-        factor,
-        iterations: 0,
-        max_iterations,
-        degenerate_run: 0,
-        w: Vec::new(),
-        y: Vec::new(),
-    };
+    let mut st = State::new(problem, rows, opts, basis, pos_of, x, nb, factor, max_iterations);
     st.refactor().map_err(|e| numerical(e, &row_name))?;
 
     let cost = st.p.cost.clone();
@@ -307,10 +347,22 @@ pub(crate) fn run_warm(
     st.iterate(&cost, false, &var_name, &row_name)?;
 
     st.refactor().map_err(|e| numerical(e, &row_name))?;
-    let cb: Vec<f64> = st.basis.iter().map(|&k| cost[k]).collect();
+    st.cb.clear();
+    st.cb.extend(st.basis.iter().map(|&k| cost[k]));
     let mut y = Vec::new();
-    st.factor.btran(&cb, &mut y);
-    Ok((Outcome { x: st.x, y, iterations: st.iterations, basis: st.basis, nb: st.nb }, used_dual))
+    st.factor.btran(&st.cb, &mut y);
+    Ok((
+        Outcome {
+            x: st.x,
+            y,
+            iterations: st.iterations,
+            basis: st.basis,
+            nb: st.nb,
+            pricing_scans: st.scans,
+            bland_pivots: st.bland_pivots,
+        },
+        used_dual,
+    ))
 }
 
 fn numerical(e: FactorError, row_name: &impl Fn(usize) -> String) -> SolveError {
@@ -323,6 +375,62 @@ fn numerical(e: FactorError, row_name: &impl Fn(usize) -> String) -> SolveError 
 }
 
 impl<'a> State<'a> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        p: &'a mut Problem,
+        rows: &'a [RowTerms<'a>],
+        opts: &'a SimplexOptions,
+        basis: Vec<usize>,
+        pos_of: Vec<i32>,
+        x: Vec<f64>,
+        nb: Vec<NbState>,
+        factor: Factorization,
+        max_iterations: u64,
+    ) -> Self {
+        State {
+            p,
+            rows,
+            opts,
+            basis,
+            pos_of,
+            x,
+            nb,
+            factor,
+            iterations: 0,
+            max_iterations,
+            degenerate_run: 0,
+            w: Vec::new(),
+            y: Vec::new(),
+            d: Vec::new(),
+            gamma: Vec::new(),
+            candidates: Vec::new(),
+            in_cands: Vec::new(),
+            cursor: 0,
+            fresh: false,
+            cb: Vec::new(),
+            rho: Vec::new(),
+            e_r: Vec::new(),
+            alpha: Vec::new(),
+            alpha_stamp: Vec::new(),
+            alpha_touched: Vec::new(),
+            stamp: 0,
+            scans: 0,
+            bland_pivots: 0,
+        }
+    }
+
+    /// Size the pricing/pivot-row scratch buffers for the current problem
+    /// dimensions (idempotent; `e_r` keeps its all-zero invariant).
+    fn ensure_scratch(&mut self) {
+        let (m, n) = (self.p.m, self.p.n);
+        self.e_r.resize(m, 0.0);
+        self.alpha.resize(n, 0.0);
+        self.alpha_stamp.resize(n, 0);
+        self.d.resize(n, 0.0);
+        self.gamma.resize(n, 1.0);
+        self.in_cands.resize(n, false);
+    }
+
     /// Rebuild the LU factorization from the current basis and refresh the
     /// basic variable values from scratch (removes accumulated drift).
     fn refactor(&mut self) -> Result<(), FactorError> {
@@ -355,23 +463,55 @@ impl<'a> State<'a> {
         var_name: &impl Fn(usize) -> String,
         row_name: &impl Fn(usize) -> String,
     ) -> Result<(), SolveError> {
+        // Devex / PartialDevex maintain `y` and `d` incrementally; Dantzig
+        // recomputes them from scratch every iteration (the baseline).
+        let incremental = self.opts.pricing != Pricing::Dantzig;
+        if incremental {
+            self.reprice(cost);
+        }
         loop {
             if self.iterations >= self.max_iterations {
                 return Err(SolveError::IterationLimit { iterations: self.iterations });
             }
             if self.factor.wants_refactor() {
                 self.refactor().map_err(|e| numerical(e, row_name))?;
+                if incremental {
+                    // The refactor cadence doubles as the pricing drift guard.
+                    self.reprice(cost);
+                }
             }
-            // Simplex multipliers y = c_B B⁻¹.
-            let cb: Vec<f64> = self.basis.iter().map(|&k| cost[k]).collect();
-            {
-                let factor = &self.factor;
-                factor.btran(&cb, &mut self.y);
+            if !incremental {
+                // Simplex multipliers y = c_B B⁻¹.
+                self.cb.clear();
+                self.cb.extend(self.basis.iter().map(|&k| cost[k]));
+                let (factor, cb, y) = (&self.factor, &self.cb, &mut self.y);
+                factor.btran(cb, y);
             }
             let bland = self.degenerate_run > self.opts.bland_trigger;
-            let Some((j, d)) = self.price(cost, bland) else {
+            let picked = if bland {
+                self.price_bland(cost)
+            } else {
+                match self.opts.pricing {
+                    Pricing::Dantzig => self.price_dantzig(cost),
+                    Pricing::Devex => self.price_devex(),
+                    Pricing::PartialDevex => self.price_partial(),
+                }
+            };
+            let Some((j, d)) = picked else {
+                if incremental && !self.fresh {
+                    // Maintained reduced costs may have drifted since the
+                    // last factorization: certify optimality against exact
+                    // values before declaring this phase done. Terminates
+                    // because the repriced costs are exact (`fresh`).
+                    self.refactor().map_err(|e| numerical(e, row_name))?;
+                    self.reprice(cost);
+                    continue;
+                }
                 return Ok(()); // optimal for this phase
             };
+            if bland {
+                self.bland_pivots += 1;
+            }
             // Direction of travel for the entering variable.
             let sigma = match self.nb[j] {
                 NbState::Lower => 1.0,
@@ -385,7 +525,7 @@ impl<'a> State<'a> {
                 }
             };
             {
-                let (p, factor, w) = (&*self.p, &self.factor, &mut self.w);
+                let (p, factor, w) = (&*self.p, &mut self.factor, &mut self.w);
                 factor.ftran(&p.cols[j], w);
             }
             match self.ratio_test(j, sigma, bland) {
@@ -398,12 +538,19 @@ impl<'a> State<'a> {
                     return Err(SolveError::Unbounded { var: var_name(j.min(self.p.nstruct)) });
                 }
                 Step::BoundFlip { t } => {
+                    // No basis change: `y` and `d` stay exact as-is.
                     self.apply_step(j, sigma, t);
                     self.x[j] = if sigma > 0.0 { self.p.ub[j] } else { self.p.lb[j] };
                     self.nb[j] = if sigma > 0.0 { NbState::Upper } else { NbState::Lower };
                     self.note_step(t);
                 }
                 Step::Pivot { t, position, to_upper } => {
+                    if incremental {
+                        // Needs the pre-pivot factorization, duals, and
+                        // basis bookkeeping: must run before any of the
+                        // updates below.
+                        self.pivot_update(j, position);
+                    }
                     self.apply_step(j, sigma, t);
                     let entering_value = self.x[j] + sigma * t;
                     let leaving = self.basis[position];
@@ -419,12 +566,323 @@ impl<'a> State<'a> {
                         // Pivot too small for a stable eta: rebuild and, if
                         // the basis went bad, surface a numerical error.
                         self.refactor().map_err(|e| numerical(e, row_name))?;
+                        if incremental {
+                            self.reprice(cost);
+                        }
                     }
                     self.note_step(t);
                 }
             }
             self.iterations += 1;
         }
+    }
+
+    /// Full pricing reset for the incremental strategies: recompute
+    /// `y = c_B B⁻¹` and every reduced cost exactly, and reset the Devex
+    /// reference framework (all weights back to 1) and the candidate list.
+    fn reprice(&mut self, cost: &[f64]) {
+        self.ensure_scratch();
+        self.cb.clear();
+        self.cb.extend(self.basis.iter().map(|&k| cost[k]));
+        {
+            let (factor, cb, y) = (&self.factor, &self.cb, &mut self.y);
+            factor.btran(cb, y);
+        }
+        for (j, &cj) in cost.iter().enumerate().take(self.p.n) {
+            let mut d = cj;
+            for &(i, v) in &self.p.cols[j] {
+                d -= self.y[i as usize] * v;
+            }
+            self.d[j] = d;
+        }
+        for g in self.gamma.iter_mut() {
+            *g = 1.0;
+        }
+        self.candidates.clear();
+        for f in self.in_cands.iter_mut() {
+            *f = false;
+        }
+        self.scans += self.p.n as u64;
+        self.fresh = true;
+    }
+
+    /// Is nonbasic column `j` eligible to enter, judged on the maintained
+    /// reduced cost `d[j]`?
+    fn eligible(&self, j: usize) -> bool {
+        if self.pos_of[j] >= 0 || self.p.lb[j] == self.p.ub[j] {
+            return false;
+        }
+        let tol = self.opts.opt_tol;
+        let d = self.d[j];
+        match self.nb[j] {
+            NbState::Lower => d < -tol,
+            NbState::Upper => d > tol,
+            NbState::Free => d.abs() > tol,
+        }
+    }
+
+    /// Compute the sparse pivot row `alpha_j = rho · a_j` for every column
+    /// with support in a row where `rho` is nonzero: structural terms come
+    /// from the row-major mirror, the slack for row `i` is implicit with
+    /// coefficient 1, and the artificial (when opened by the crash) carries
+    /// its crash-time sign. Entries are valid where
+    /// `alpha_stamp[j] == stamp`; `alpha_touched` lists them.
+    fn pivot_row_pass(&mut self) {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        self.alpha_touched.clear();
+        for i in 0..self.rho.len() {
+            let rv = self.rho[i];
+            if rv == 0.0 {
+                continue;
+            }
+            let row = self.rows[i];
+            for &(jc, v) in row {
+                let j = jc as usize;
+                if self.alpha_stamp[j] != stamp {
+                    self.alpha_stamp[j] = stamp;
+                    self.alpha[j] = 0.0;
+                    self.alpha_touched.push(jc);
+                }
+                self.alpha[j] += rv * v;
+            }
+            let s = self.p.slack_start + i;
+            self.alpha_stamp[s] = stamp;
+            self.alpha[s] = rv;
+            self.alpha_touched.push(s as u32);
+            let a = self.p.art_start + i;
+            if let Some(&(_, av)) = self.p.cols[a].first() {
+                self.alpha_stamp[a] = stamp;
+                self.alpha[a] = rv * av;
+                self.alpha_touched.push(a as u32);
+            }
+        }
+        self.scans += self.alpha_touched.len() as u64;
+    }
+
+    /// Incremental pricing update for a basis exchange: entering column `q`
+    /// (whose FTRAN is already in `self.w`) replaces the basic variable at
+    /// `position`. With `rho` the BTRAN'd pivot row and
+    /// `theta_d = d_q / alpha_q`:
+    ///
+    /// * `d_j ← d_j − theta_d · alpha_j` for every nonbasic `j ≠ q`,
+    /// * `d_leaving ← −theta_d` (its pivot-row entry is exactly 1),
+    /// * `d_q ← 0`, `y ← y + theta_d · rho`,
+    /// * Devex: `γ_j ← max(γ_j, (alpha_j/alpha_q)² γ_q)` for touched `j`,
+    ///   and the leaving column gets `max(γ_q/alpha_q², 1)`.
+    ///
+    /// Must run before the basis bookkeeping and eta update for this pivot.
+    fn pivot_update(&mut self, q: usize, position: usize) {
+        self.fresh = false;
+        let alpha_q = self.w[position];
+        if alpha_q == 0.0 {
+            // The eta update will reject this pivot and force a refactor,
+            // which reprices from scratch anyway.
+            return;
+        }
+        let theta_d = self.d[q] / alpha_q;
+        self.e_r[position] = 1.0;
+        {
+            let (factor, e_r, rho) = (&self.factor, &self.e_r, &mut self.rho);
+            factor.btran(e_r, rho);
+        }
+        self.e_r[position] = 0.0;
+        self.pivot_row_pass();
+        let gamma_q = self.gamma[q].max(1.0);
+        let inv_aq = 1.0 / alpha_q;
+        for idx in 0..self.alpha_touched.len() {
+            let j = self.alpha_touched[idx] as usize;
+            if self.pos_of[j] >= 0 || j == q {
+                continue;
+            }
+            let aj = self.alpha[j];
+            self.d[j] -= theta_d * aj;
+            let r = aj * inv_aq;
+            let cand = r * r * gamma_q;
+            if cand > self.gamma[j] {
+                self.gamma[j] = cand;
+            }
+        }
+        if theta_d != 0.0 {
+            for i in 0..self.rho.len() {
+                let rv = self.rho[i];
+                if rv != 0.0 {
+                    self.y[i] += theta_d * rv;
+                }
+            }
+        }
+        let leaving = self.basis[position];
+        self.d[leaving] = -theta_d;
+        self.gamma[leaving] = (gamma_q * inv_aq * inv_aq).max(1.0);
+        self.d[q] = 0.0;
+    }
+
+    /// Bland's anti-cycling rule: the smallest-index eligible column. Under
+    /// Dantzig the reduced cost is recomputed from the fresh duals; the
+    /// incremental strategies judge on the maintained `d[j]` (the drift
+    /// guard in `iterate` re-certifies before declaring optimality).
+    fn price_bland(&mut self, cost: &[f64]) -> Option<(usize, f64)> {
+        let tol = self.opts.opt_tol;
+        let dantzig = self.opts.pricing == Pricing::Dantzig;
+        for (j, &cj) in cost.iter().enumerate().take(self.p.n) {
+            if self.pos_of[j] >= 0 || self.p.lb[j] == self.p.ub[j] {
+                continue;
+            }
+            self.scans += 1;
+            let d = if dantzig {
+                let mut d = cj;
+                for &(i, v) in &self.p.cols[j] {
+                    d -= self.y[i as usize] * v;
+                }
+                d
+            } else {
+                self.d[j]
+            };
+            let eligible = match self.nb[j] {
+                NbState::Lower => d < -tol,
+                NbState::Upper => d > tol,
+                NbState::Free => d.abs() > tol,
+            };
+            if eligible {
+                return Some((j, d));
+            }
+        }
+        None
+    }
+
+    /// Dantzig pricing: full scan for the most negative effective reduced
+    /// cost, recomputed per column from the current duals.
+    fn price_dantzig(&mut self, cost: &[f64]) -> Option<(usize, f64)> {
+        let tol = self.opts.opt_tol;
+        let mut best: Option<(usize, f64, f64)> = None; // (j, d, score)
+        for (j, &cj) in cost.iter().enumerate().take(self.p.n) {
+            if self.pos_of[j] >= 0 {
+                continue;
+            }
+            // Fixed columns (incl. closed artificials) can never improve.
+            if self.p.lb[j] == self.p.ub[j] {
+                continue;
+            }
+            self.scans += 1;
+            let mut d = cj;
+            for &(i, v) in &self.p.cols[j] {
+                d -= self.y[i as usize] * v;
+            }
+            let eligible = match self.nb[j] {
+                NbState::Lower => d < -tol,
+                NbState::Upper => d > tol,
+                NbState::Free => d.abs() > tol,
+            };
+            if !eligible {
+                continue;
+            }
+            let score = d.abs();
+            if best.as_ref().is_none_or(|&(_, _, s)| score > s) {
+                best = Some((j, d, score));
+            }
+        }
+        best.map(|(j, d, _)| (j, d))
+    }
+
+    /// Devex pricing over all columns using the maintained reduced costs:
+    /// highest `d²/γ` wins, smallest index on exact ties (ascending scan
+    /// with a strictly-greater comparison).
+    fn price_devex(&mut self) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None; // (j, score)
+        for j in 0..self.p.n {
+            if !self.eligible(j) {
+                continue;
+            }
+            let dj = self.d[j];
+            let score = dj * dj / self.gamma[j];
+            if best.is_none_or(|(_, s)| score > s) {
+                best = Some((j, score));
+            }
+        }
+        self.scans += self.p.n as u64;
+        best.map(|(j, _)| (j, self.d[j]))
+    }
+
+    /// Partial Devex pricing: prune the candidate shortlist, sweep one
+    /// column section past the cursor every call (so every column is
+    /// revisited within `SECTIONS` pivots and the shortlist never goes
+    /// stale), keep sweeping while the list is thin, and pick the best
+    /// Devex score among the survivors — O(section + candidates) per
+    /// pivot instead of O(n). A full wrap with an empty shortlist means no
+    /// eligible column exists (by the maintained reduced costs).
+    fn price_partial(&mut self) -> Option<(usize, f64)> {
+        // Drop candidates that went basic or lost eligibility.
+        let mut keep = 0;
+        for idx in 0..self.candidates.len() {
+            let j = self.candidates[idx] as usize;
+            self.scans += 1;
+            if self.eligible(j) {
+                self.candidates[keep] = self.candidates[idx];
+                keep += 1;
+            } else {
+                self.in_cands[j] = false;
+            }
+        }
+        self.candidates.truncate(keep);
+        let n = self.p.n;
+        let section = (n / SECTIONS).max(SECTION_MIN).min(n);
+        let mut scanned = 0usize;
+        while scanned < n {
+            for _ in 0..section {
+                if scanned >= n {
+                    break;
+                }
+                let j = self.cursor;
+                self.cursor += 1;
+                if self.cursor == n {
+                    self.cursor = 0;
+                }
+                scanned += 1;
+                self.scans += 1;
+                if !self.in_cands[j] && self.eligible(j) {
+                    self.in_cands[j] = true;
+                    self.candidates.push(j as u32);
+                }
+            }
+            if self.candidates.len() >= CANDS_MIN {
+                break;
+            }
+        }
+        // Trim to the best CANDS_MAX by current Devex score so the
+        // shortlist keeps quality, not arrival order. The sort key is a
+        // pure function of the maintained (d, gamma) state, so the
+        // surviving set — and hence the pivot sequence — stays
+        // deterministic.
+        if self.candidates.len() > CANDS_MAX {
+            let mut cands = std::mem::take(&mut self.candidates);
+            cands.sort_by(|&a, &b| {
+                let (a, b) = (a as usize, b as usize);
+                let sa = self.d[a] * self.d[a] / self.gamma[a];
+                let sb = self.d[b] * self.d[b] / self.gamma[b];
+                sb.partial_cmp(&sa).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+            });
+            for &j in &cands[CANDS_MAX..] {
+                self.in_cands[j as usize] = false;
+            }
+            cands.truncate(CANDS_MAX);
+            self.candidates = cands;
+        }
+        let mut best: Option<(usize, f64)> = None; // (j, score)
+        for idx in 0..self.candidates.len() {
+            let j = self.candidates[idx] as usize;
+            let dj = self.d[j];
+            let score = dj * dj / self.gamma[j];
+            let better = match best {
+                None => true,
+                // Insertion order is cyclic, not ascending: break exact
+                // ties by index explicitly for determinism.
+                Some((bj, bs)) => score > bs || (score == bs && j < bj),
+            };
+            if better {
+                best = Some((j, score));
+            }
+        }
+        best.map(|(j, _)| (j, self.d[j]))
     }
 
     /// Move all basic variables along the FTRAN direction by step `t`.
@@ -452,10 +910,11 @@ impl<'a> State<'a> {
     /// dual feasibility at its current rest value, and return the saved
     /// bounds `(column, lb, ub)` so the caller can restore them.
     fn box_dual_infeasible(&mut self, cost: &[f64]) -> Vec<(usize, f64, f64)> {
-        let cb: Vec<f64> = self.basis.iter().map(|&k| cost[k]).collect();
+        self.cb.clear();
+        self.cb.extend(self.basis.iter().map(|&k| cost[k]));
         {
-            let factor = &self.factor;
-            factor.btran(&cb, &mut self.y);
+            let (factor, cb, y) = (&self.factor, &self.cb, &mut self.y);
+            factor.btran(cb, y);
         }
         let tol = self.opts.opt_tol;
         let mut boxed = Vec::new();
@@ -490,9 +949,7 @@ impl<'a> State<'a> {
         cost: &[f64],
         row_name: &impl Fn(usize) -> String,
     ) -> Result<(), SolveError> {
-        let m = self.p.m;
-        let mut rho = Vec::new();
-        let mut e_r = vec![0.0; m];
+        self.ensure_scratch();
         loop {
             if self.iterations >= self.max_iterations {
                 return Err(SolveError::IterationLimit { iterations: self.iterations });
@@ -520,17 +977,21 @@ impl<'a> State<'a> {
             // `need` is the direction the leaving value must move.
             let need = if to_lower { 1.0 } else { -1.0 };
             // rho = row r of B⁻¹ (original row coordinates), so that
-            // alpha_j = rho · a_j is the pivot row entry of column j.
-            for v in e_r.iter_mut() {
-                *v = 0.0;
-            }
-            e_r[r] = 1.0;
-            self.factor.btran(&e_r, &mut rho);
-            // Current duals for the ratio test.
-            let cb: Vec<f64> = self.basis.iter().map(|&b| cost[b]).collect();
+            // alpha_j = rho · a_j is the pivot row entry of column j; the
+            // sparse pivot-row pass materializes exactly the nonzero alphas.
+            self.e_r[r] = 1.0;
             {
-                let factor = &self.factor;
-                factor.btran(&cb, &mut self.y);
+                let (factor, e_r, rho) = (&self.factor, &self.e_r, &mut self.rho);
+                factor.btran(e_r, rho);
+            }
+            self.e_r[r] = 0.0;
+            self.pivot_row_pass();
+            // Current duals for the ratio test.
+            self.cb.clear();
+            self.cb.extend(self.basis.iter().map(|&b| cost[b]));
+            {
+                let (factor, cb, y) = (&self.factor, &self.cb, &mut self.y);
+                factor.btran(cb, y);
             }
             let bland = self.degenerate_run > self.opts.bland_trigger;
             // Dual ratio test: among columns whose movement drives x_k toward
@@ -540,13 +1001,11 @@ impl<'a> State<'a> {
                 if self.pos_of[j] >= 0 || self.p.lb[j] == self.p.ub[j] {
                     continue;
                 }
-                let mut alpha = 0.0;
-                for &(i, v) in &self.p.cols[j] {
-                    alpha += rho[i as usize] * v;
-                }
+                let alpha = if self.alpha_stamp[j] == self.stamp { self.alpha[j] } else { 0.0 };
                 if alpha.abs() <= 1e-9 {
                     continue;
                 }
+                self.scans += 1;
                 let sigma = match self.nb[j] {
                     NbState::Lower => 1.0,
                     NbState::Upper => -1.0,
@@ -583,7 +1042,7 @@ impl<'a> State<'a> {
             // Step that lands the leaving variable exactly on its bound.
             let t = ((self.x[k] - bound) / (sigma * alpha)).max(0.0);
             {
-                let (p, factor, w) = (&*self.p, &self.factor, &mut self.w);
+                let (p, factor, w) = (&*self.p, &mut self.factor, &mut self.w);
                 factor.ftran(&p.cols[q], w);
             }
             for (pos, &bk) in self.basis.iter().enumerate() {
@@ -605,42 +1064,6 @@ impl<'a> State<'a> {
             self.note_step(t);
             self.iterations += 1;
         }
-    }
-
-    /// Choose an entering column: Dantzig (most negative effective reduced
-    /// cost) or, under Bland's rule, the smallest eligible index.
-    fn price(&self, cost: &[f64], bland: bool) -> Option<(usize, f64)> {
-        let tol = self.opts.opt_tol;
-        let mut best: Option<(usize, f64, f64)> = None; // (j, d, score)
-        for (j, &cj) in cost.iter().enumerate().take(self.p.n) {
-            if self.pos_of[j] >= 0 {
-                continue;
-            }
-            // Fixed columns (incl. closed artificials) can never improve.
-            if self.p.lb[j] == self.p.ub[j] {
-                continue;
-            }
-            let mut d = cj;
-            for &(i, v) in &self.p.cols[j] {
-                d -= self.y[i as usize] * v;
-            }
-            let eligible = match self.nb[j] {
-                NbState::Lower => d < -tol,
-                NbState::Upper => d > tol,
-                NbState::Free => d.abs() > tol,
-            };
-            if !eligible {
-                continue;
-            }
-            if bland {
-                return Some((j, d));
-            }
-            let score = d.abs();
-            if best.as_ref().is_none_or(|&(_, _, s)| score > s) {
-                best = Some((j, d, score));
-            }
-        }
-        best.map(|(j, d, _)| (j, d))
     }
 
     /// Bounded-variable ratio test for entering column `j` moving in

@@ -61,6 +61,8 @@ pub struct Solution {
     pub(crate) duals: Vec<f64>,
     pub(crate) reduced_costs: Vec<f64>,
     pub(crate) iterations: u64,
+    pub(crate) pricing_scans: u64,
+    pub(crate) bland_pivots: u64,
 }
 
 impl Solution {
@@ -106,5 +108,17 @@ impl Solution {
     /// Number of simplex iterations used (phase 1 + phase 2).
     pub fn iterations(&self) -> u64 {
         self.iterations
+    }
+
+    /// Columns examined by pricing across the solve: selection scans plus
+    /// the columns touched by incremental pivot-row updates. The work
+    /// measure that partial pricing exists to shrink.
+    pub fn pricing_scans(&self) -> u64 {
+        self.pricing_scans
+    }
+
+    /// Iterations priced under the Bland's-rule anti-cycling fallback.
+    pub fn bland_pivots(&self) -> u64 {
+        self.bland_pivots
     }
 }

@@ -1,0 +1,272 @@
+//! Cross-strategy pricing tests: Dantzig, Devex, and PartialDevex must all
+//! reach the same certified optimum on schedule-shaped LPs (the per-(job,
+//! path, timestep) structure SAM produces), and the Bland's-rule
+//! anti-cycling escape hatch must still fire under the incremental
+//! strategies.
+//!
+//! As with the other property suites, randomness comes from a local
+//! deterministic xorshift stream (no registry access in the build
+//! environment); every failing case reports its seed.
+
+use pretium_lp::validate::check_optimal;
+use pretium_lp::{
+    Cmp, LinExpr, Model, Pricing, RowId, Sense, SimplexOptions, SolveOptions, SolverSession,
+};
+
+/// Deterministic xorshift64* stream in `[0, 1)`.
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.unit()
+    }
+
+    fn index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+const STRATEGIES: [Pricing; 3] = [Pricing::Dantzig, Pricing::Devex, Pricing::PartialDevex];
+
+fn opts_for(pricing: Pricing) -> SolveOptions {
+    SolveOptions {
+        simplex: Some(SimplexOptions { pricing, ..SimplexOptions::default() }),
+        ..SolveOptions::default()
+    }
+}
+
+/// Build a schedule-shaped LP: `jobs × paths × steps` flow variables,
+/// per-(link, step) capacity rows over overlapping path supports, one
+/// demand cap per job, and a guarantee floor per job softened by a
+/// penalized shortfall variable — the same row/column structure SAM's
+/// per-timestep re-optimizations produce.
+fn schedule_lp(g: &mut Gen) -> Model {
+    let jobs = 2 + g.index(5);
+    let paths = 1 + g.index(3);
+    let steps = 2 + g.index(5);
+    let links = 2 + g.index(4);
+    let mut m = Model::new(Sense::Maximize);
+    // Flow variables with per-unit value minus a small path cost.
+    let mut x = vec![vec![Vec::with_capacity(steps); paths]; jobs];
+    let weights: Vec<f64> = (0..jobs).map(|_| g.range(0.5, 3.0)).collect();
+    for (j, wj) in weights.iter().enumerate() {
+        for (p, xp) in x[j].iter_mut().enumerate() {
+            let cost = g.range(0.0, 0.4);
+            for t in 0..steps {
+                xp.push(m.add_var(&format!("x_{j}_{p}_{t}"), 0.0, f64::INFINITY, wj - cost));
+            }
+        }
+    }
+    // Each (job, path) crosses a couple of links; capacity rows couple the
+    // flows that share a (link, step).
+    let mut crossing = vec![vec![Vec::new(); steps]; links];
+    for (j, xj) in x.iter().enumerate() {
+        for (p, xp) in xj.iter().enumerate() {
+            let l1 = (j + p) % links;
+            let l2 = (j + p + 1 + g.index(links - 1)) % links;
+            for (t, &v) in xp.iter().enumerate() {
+                crossing[l1][t].push(v);
+                if l2 != l1 {
+                    crossing[l2][t].push(v);
+                }
+            }
+        }
+    }
+    for (l, per_step) in crossing.iter().enumerate() {
+        for (t, vars) in per_step.iter().enumerate() {
+            if vars.is_empty() {
+                continue;
+            }
+            let mut e = LinExpr::new();
+            for &v in vars {
+                e.add_term(1.0, v);
+            }
+            m.add_row(&format!("cap_{l}_{t}"), e, Cmp::Le, g.range(1.0, 6.0));
+        }
+    }
+    // Demand cap and (soft) guarantee floor per job.
+    for (j, xj) in x.iter().enumerate() {
+        let mut total = LinExpr::new();
+        for xp in xj {
+            for &v in xp {
+                total.add_term(1.0, v);
+            }
+        }
+        let demand = g.range(2.0, 8.0);
+        m.add_row(&format!("dem_{j}"), total.clone(), Cmp::Le, demand);
+        let s = m.add_var(&format!("short_{j}"), 0.0, f64::INFINITY, -10.0 * weights[j]);
+        total.add_term(1.0, s);
+        m.add_row(&format!("guar_{j}"), total, Cmp::Ge, demand * g.range(0.2, 0.8));
+    }
+    m
+}
+
+/// All three strategies agree on the optimal objective (within tolerance)
+/// and each returns a KKT-certified, bound-respecting solution.
+#[test]
+fn strategies_agree_on_schedule_shaped_lps() {
+    for seed in 0..48 {
+        let mut g = Gen::new(seed);
+        let m = schedule_lp(&mut g);
+        let mut objectives = Vec::new();
+        for pricing in STRATEGIES {
+            let mut sess = SolverSession::new(m.clone());
+            let sol = sess
+                .solve(&opts_for(pricing))
+                .unwrap_or_else(|e| panic!("seed {seed} {pricing:?}: {e}"));
+            // Certified optimum: primal feasibility (incl. bounds), dual
+            // feasibility, complementary slackness.
+            let violations = check_optimal(&m, &sol, 1e-6);
+            assert!(violations.is_empty(), "seed {seed} {pricing:?}: {violations:?}");
+            objectives.push((pricing, sol.objective()));
+        }
+        let (_, base) = objectives[0];
+        for &(pricing, obj) in &objectives[1..] {
+            assert!(
+                (obj - base).abs() <= 1e-6 * (1.0 + base.abs()),
+                "seed {seed}: {pricing:?} found {obj}, Dantzig found {base}"
+            );
+        }
+    }
+}
+
+/// Warm restarts (the SAM timestep pattern: RHS moves, re-solve) agree
+/// across strategies too, and each session stays KKT-certified.
+#[test]
+fn strategies_agree_across_warm_restarts() {
+    for seed in 0..16 {
+        let mut g = Gen::new(seed ^ 0x5EED);
+        let m = schedule_lp(&mut g);
+        // Pre-pick the RHS perturbations so every strategy sees the same
+        // mutation sequence.
+        let nrows = m.num_rows();
+        let tweaks: Vec<(usize, f64)> =
+            (0..4).map(|_| (g.index(nrows), g.range(0.5, 4.0))).collect();
+        let mut finals = Vec::new();
+        for pricing in STRATEGIES {
+            let mut sess = SolverSession::new(m.clone());
+            sess.solve(&opts_for(pricing)).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let mut last = f64::NAN;
+            for &(r, rhs) in &tweaks {
+                sess.set_rhs(RowId::from_index(r), rhs);
+                let sol = sess
+                    .solve(&opts_for(pricing))
+                    .unwrap_or_else(|e| panic!("seed {seed} {pricing:?}: {e}"));
+                let violations = check_optimal(sess.model(), &sol, 1e-6);
+                assert!(violations.is_empty(), "seed {seed} {pricing:?}: {violations:?}");
+                last = sol.objective();
+            }
+            finals.push((pricing, last));
+        }
+        let (_, base) = finals[0];
+        for &(pricing, obj) in &finals[1..] {
+            assert!(
+                (obj - base).abs() <= 1e-6 * (1.0 + base.abs()),
+                "seed {seed}: {pricing:?} ended at {obj}, Dantzig at {base}"
+            );
+        }
+    }
+}
+
+/// A crafted, massively degenerate LP: a cyclic chain `x_i <= x_{i+1}`
+/// with zero right-hand sides forces every feasible point to have all
+/// variables equal, so the walk from the all-slack crash basis to the
+/// optimum is a run of zero-length steps. With `bland_trigger: 0` the
+/// anti-cycling rule must engage under Devex — observable through the
+/// `bland_pivots` counter — while still reaching the right optimum.
+#[test]
+fn bland_trigger_fires_under_devex_on_degenerate_lp() {
+    for &pricing in &[Pricing::Devex, Pricing::PartialDevex] {
+        let mut m = Model::new(Sense::Maximize);
+        let n = 12;
+        let xs: Vec<_> = (0..n)
+            .map(|j| m.add_var(&format!("x{j}"), 0.0, f64::INFINITY, 1.0 + 0.01 * j as f64))
+            .collect();
+        // x_i - x_{i+1} <= 0 around a cycle: all variables must be equal.
+        for i in 0..n {
+            let mut e = LinExpr::new();
+            e.add_term(1.0, xs[i]);
+            e.add_term(-1.0, xs[(i + 1) % n]);
+            m.add_row(&format!("chain{i}"), e, Cmp::Le, 0.0);
+        }
+        // One shared unit of capacity bounds the common level at 1/n.
+        let mut cap = LinExpr::new();
+        for &v in &xs {
+            cap.add_term(1.0, v);
+        }
+        m.add_row("cap", cap, Cmp::Le, 1.0);
+        // Reference optimum from a plain Dantzig solve with the default
+        // (effectively never-firing) trigger.
+        let reference = SolverSession::new(m.clone())
+            .solve(&opts_for(Pricing::Dantzig))
+            .expect("reference solve")
+            .objective();
+        let mut sess = SolverSession::new(m.clone());
+        let opts = SolveOptions {
+            simplex: Some(SimplexOptions { pricing, bland_trigger: 0, ..Default::default() }),
+            ..SolveOptions::default()
+        };
+        let sol = sess.solve(&opts).unwrap_or_else(|e| panic!("{pricing:?}: {e}"));
+        assert!(
+            (sol.objective() - reference).abs() <= 1e-6 * (1.0 + reference.abs()),
+            "{pricing:?}: objective {} vs reference {reference}",
+            sol.objective()
+        );
+        assert!(check_optimal(&m, &sol, 1e-6).is_empty(), "{pricing:?}");
+        assert!(
+            sol.bland_pivots() > 0,
+            "{pricing:?}: Bland fallback never engaged on a degenerate LP"
+        );
+    }
+}
+
+/// The pricing-scan counter reflects the strategies' cost structure on a
+/// larger model: partial pricing must examine far fewer columns per
+/// iteration than the full Dantzig rescan.
+#[test]
+fn partial_pricing_scans_fewer_columns() {
+    let mut g = Gen::new(0xC0FFEE);
+    // A larger instance so sectioned scanning actually engages
+    // (n > SECTION_MIN columns).
+    let mut m = Model::new(Sense::Maximize);
+    let nvars = 400;
+    let xs: Vec<_> =
+        (0..nvars).map(|j| m.add_var(&format!("x{j}"), 0.0, 2.0, g.range(0.1, 3.0))).collect();
+    for i in 0..120 {
+        let mut e = LinExpr::new();
+        for (j, &v) in xs.iter().enumerate() {
+            if (j * 7 + i) % 16 == 0 {
+                e.add_term(g.range(0.2, 1.5), v);
+            }
+        }
+        m.add_row(&format!("r{i}"), e, Cmp::Le, g.range(2.0, 10.0));
+    }
+    let mut per_iter = Vec::new();
+    for pricing in [Pricing::Dantzig, Pricing::PartialDevex] {
+        let mut sess = SolverSession::new(m.clone());
+        let sol = sess.solve(&opts_for(pricing)).unwrap();
+        assert!(sol.iterations() > 0);
+        per_iter.push(sol.pricing_scans() as f64 / sol.iterations() as f64);
+    }
+    assert!(
+        per_iter[1] < per_iter[0] / 2.0,
+        "partial pricing scanned {:.0} cols/iter vs Dantzig's {:.0}",
+        per_iter[1],
+        per_iter[0]
+    );
+}

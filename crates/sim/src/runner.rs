@@ -66,9 +66,11 @@ impl PretiumRun {
     }
 
     /// Render the run's telemetry (and audit summary, when available) as a
-    /// report section.
+    /// report section, followed by the LP solver counters.
     pub fn telemetry_report(&self, title: &str) -> String {
-        crate::report::render_telemetry(title, self.telemetry(), self.audit())
+        let mut out = crate::report::render_telemetry(title, self.telemetry(), self.audit());
+        out.push_str(&crate::report::render_lp("lp solver", &self.lp_stats));
+        out
     }
 }
 
