@@ -26,9 +26,7 @@ fn warmed() -> (Pretium, UsageTracker, pretium_sim::Scenario, usize) {
         while next < scenario.requests.len() && scenario.requests[next].arrival == t {
             let r = &scenario.requests[next];
             let params = RequestParams::from(r);
-            let menu = system.quote(&params);
-            let units = menu.optimal_purchase(r.value, r.demand);
-            system.accept(&params, &menu, units);
+            system.admit_one(&params, |menu| menu.optimal_purchase(r.value, r.demand));
             next += 1;
         }
         system.run_sam(t, &usage).unwrap();
@@ -41,13 +39,17 @@ fn main() {
     let mut h = Harness::new().sample_size(10);
     let (mut system, usage, scenario, mid) = warmed();
 
-    // RA: quote a representative mid-simulation request.
+    // RA: quote a representative mid-simulation request off a published
+    // admission snapshot (the quoting surface since the sequencer API).
     let probe =
         scenario.requests.iter().find(|r| r.arrival >= mid).expect("request in second half");
     let params = RequestParams::from(probe);
+    let snap = system.snapshot();
     h.bench_function("table4_ra_quote", |b| {
-        b.iter(|| black_box(system.quote(&params).capacity_bound()));
+        b.iter(|| black_box(snap.quote(&params).capacity_bound()));
     });
+    system.absorb_quotes(&snap);
+    drop(snap);
 
     // SAM: one full re-optimization at the midpoint.
     h.bench_function("table4_sam_step", |b| {

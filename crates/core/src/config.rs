@@ -31,6 +31,11 @@ pub struct PretiumConfig {
     pub cost_scale: f64,
     /// Run SAM every `sam_every` timesteps (1 = every step, as in §4.2).
     pub sam_every: usize,
+    /// RA quote workers per arrival batch. 1 (the default) quotes each
+    /// batch serially on the caller's thread; >1 fans quotes out over a
+    /// work-stealing pool. Results are bit-identical either way — the
+    /// sequencer, not thread timing, fixes admission order.
+    pub ra_jobs: usize,
     /// Disable SAM entirely (the Pretium-NoSAM ablation of Figure 11).
     pub sam_enabled: bool,
     /// Windows of history the price computer optimizes over (the paper's
@@ -67,6 +72,7 @@ impl Default for PretiumConfig {
             topk: TopkEncoding::CVar,
             cost_scale: 1.0,
             sam_every: 1,
+            ra_jobs: 1,
             sam_enabled: true,
             lookback_windows: 1,
             reference: ReferenceWindow::Previous,

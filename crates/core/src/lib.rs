@@ -18,8 +18,11 @@
 //!   lazy capacity rows and lazily-attached percentile cost encodings.
 //! * [`topk`] — Theorem 4.2: O(kT) sorting-network encoding of
 //!   sum-of-top-k, plus the O(T) CVaR alternative.
-//! * [`pretium`] — the orchestrating façade: `quote` / `accept` (RA),
-//!   `run_sam` (§4.2), `run_pc` (§4.3), `execute_step`.
+//! * [`admission`] — the concurrent RA front end: epoch-published
+//!   [`AdmissionSnapshot`]s for pure parallel quoting, [`QuoteTicket`]s,
+//!   and the deterministic [`Sequencer`] that applies accepts in order.
+//! * [`pretium`] — the orchestrating façade: `snapshot` / `admit_one`
+//!   (RA), `run_sam` (§4.2), `run_pc` (§4.3), `execute_step`.
 //! * [`config`] — tunables, with paper defaults.
 //! * [`incentives`] — §5: empirical deviation analysis (can customers gain
 //!   by misreporting?).
@@ -31,6 +34,7 @@
 //!   fallback policy and the violation ledger of waived guarantees.
 //! * [`telemetry`] — per-module counters and wall-clock timings.
 
+pub mod admission;
 pub mod audit;
 pub mod config;
 pub mod contract;
@@ -43,6 +47,7 @@ pub mod state;
 pub mod telemetry;
 pub mod topk;
 
+pub use admission::{AdmissionSnapshot, QuoteTicket, Sequencer};
 pub use audit::{AuditContext, AuditPoint, Auditor, Invariant, Violation};
 pub use config::{PretiumConfig, ReferenceWindow};
 pub use contract::{Contract, ContractId, RequestParams};

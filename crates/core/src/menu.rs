@@ -30,7 +30,12 @@ pub struct Segment {
 }
 
 /// A convex piecewise-linear price schedule plus the capacity bound `x̄`.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` is segment-exact (prices, units, and slot allocations
+/// compare bitwise through `f64` equality) — the admission determinism
+/// tests rely on menus quoted from a snapshot being *identical* to menus
+/// quoted serially, not merely close.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PriceMenu {
     /// Segments in non-decreasing price order.
     pub segments: Vec<Segment>,

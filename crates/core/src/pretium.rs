@@ -6,6 +6,7 @@
 //! timestep*; the PC recomputes prices *once per window* from the duals of
 //! an offline solve over recent history.
 
+use crate::admission::{AdmissionSnapshot, Sequencer};
 use crate::audit::{AuditContext, AuditPoint, Auditor};
 use crate::config::{PretiumConfig, ReferenceWindow};
 use crate::contract::{Contract, ContractId, RequestParams};
@@ -15,8 +16,9 @@ use crate::schedule::{self, Job, ScheduleProblem, ScheduleSession};
 use crate::state::NetworkState;
 use crate::telemetry::Telemetry;
 use pretium_lp::{SessionStats, SimplexOptions, SolveError, SolveOptions};
-use pretium_net::{EdgeId, Network, Path, PathSet, TimeGrid, Timestep, UsageTracker};
+use pretium_net::{EdgeId, Network, Path, SharedPathSet, TimeGrid, Timestep, UsageTracker};
 use rand::{DetHashMap as HashMap, DetHashSet as HashSet};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The scheduling LP SAM keeps alive between timesteps of one billing
@@ -54,12 +56,20 @@ impl SamCarry {
 
 /// A running Pretium instance.
 pub struct Pretium {
-    net: Network,
+    net: Arc<Network>,
     grid: TimeGrid,
     horizon: usize,
     cfg: PretiumConfig,
     state: NetworkState,
-    path_cache: PathSet,
+    /// Shared with every published [`AdmissionSnapshot`], so concurrent
+    /// quote workers and the live system fill one cache.
+    path_cache: Arc<SharedPathSet>,
+    /// Epoch of the current quote-relevant state; bumped on every mutation
+    /// a menu could observe (reservations, prices, health, set-asides).
+    epoch: u64,
+    /// The snapshot published for the current epoch, if any — reused by
+    /// [`Pretium::snapshot`] until the next mutation retires it.
+    published: Option<Arc<AdmissionSnapshot>>,
     contracts: Vec<Contract>,
     /// Admissible route set per contract (parallel to `contracts`).
     contract_paths: Vec<Vec<Path>>,
@@ -98,16 +108,18 @@ impl Pretium {
         let state = NetworkState::new(&net, grid, horizon, cfg.highpri_fraction, cfg.bump, |e| {
             initial[e.index()]
         });
-        let path_cache = PathSet::new(cfg.k_paths);
+        let path_cache = Arc::new(SharedPathSet::new(cfg.k_paths));
         let floors: Vec<f64> = net.edge_ids().map(|e| price_floor(&net, &grid, &cfg, e)).collect();
         let audit = (cfg.audit || cfg!(debug_assertions)).then(Auditor::new);
         Pretium {
-            net,
+            net: Arc::new(net),
             grid,
             horizon,
             cfg,
             state,
             path_cache,
+            epoch: 0,
+            published: None,
             contracts: Vec::new(),
             contract_paths: Vec::new(),
             pc_runs: 0,
@@ -128,6 +140,89 @@ impl Pretium {
 
     pub fn state(&self) -> &NetworkState {
         &self.state
+    }
+
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// Epoch of the current quote-relevant state. Bumped on every mutation
+    /// a menu could observe: an accept's reservations, SAM's re-planning,
+    /// PC price updates, capacity faults and recoveries, manual price
+    /// overrides.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Publish (or reuse) the admission snapshot for the current epoch: an
+    /// immutable view any number of RA workers can [`AdmissionSnapshot::quote`]
+    /// against concurrently. Consecutive calls between mutations return
+    /// the same `Arc` — publication is amortized to one state clone per
+    /// epoch.
+    pub fn snapshot(&mut self) -> Arc<AdmissionSnapshot> {
+        if let Some(s) = &self.published {
+            return Arc::clone(s);
+        }
+        let snap = Arc::new(AdmissionSnapshot::new(
+            self.epoch,
+            self.horizon,
+            Arc::clone(&self.net),
+            self.state.clone(),
+            Arc::clone(&self.path_cache),
+        ));
+        self.telemetry.snapshots += 1;
+        self.published = Some(Arc::clone(&snap));
+        snap
+    }
+
+    /// Retire the published snapshot (folding its quote telemetry in) and
+    /// advance the epoch. Every quote-relevant mutation goes through here.
+    fn bump_epoch(&mut self) {
+        if let Some(snap) = self.published.take() {
+            snap.stats.drain_into(&mut self.telemetry);
+        }
+        self.epoch += 1;
+    }
+
+    /// Fold a snapshot's atomic quote counters into this system's
+    /// telemetry. Idempotent; retiring a snapshot drains it automatically,
+    /// so this is only needed for counters accrued after the last mutation
+    /// (e.g. the final batch of a run).
+    pub fn absorb_quotes(&mut self, snap: &AdmissionSnapshot) {
+        snap.stats.drain_into(&mut self.telemetry);
+    }
+
+    /// One-shot admission through the snapshot/sequencer path: publish (or
+    /// reuse) a snapshot, quote `params`, let `respond` choose the
+    /// purchase off the menu, and sequence the accept. Returns the quoted
+    /// menu alongside the booking result.
+    ///
+    /// This is the migration surface for callers of the removed
+    /// `quote(&mut self)` + `accept` pair; batch admission should publish
+    /// one snapshot and fan quotes out instead (see `pretium-sim`'s
+    /// runner).
+    pub fn admit_one(
+        &mut self,
+        params: &RequestParams,
+        respond: impl FnOnce(&PriceMenu) -> f64,
+    ) -> (PriceMenu, Option<ContractId>) {
+        let snap = self.snapshot();
+        let ticket = snap.ticket(params);
+        self.absorb_quotes(&snap);
+        let mut seq = Sequencer::new(self);
+        let id = seq.admit(&ticket, respond);
+        (ticket.menu, id)
+    }
+
+    /// The admissible route set for `(src, dst)` from the shared path
+    /// cache (computed on first access).
+    pub fn paths_for(&self, src: pretium_net::NodeId, dst: pretium_net::NodeId) -> Arc<Vec<Path>> {
+        self.path_cache.paths(&self.net, src, dst)
+    }
+
+    /// The admissible route set contract `id` was booked with.
+    pub fn routes(&self, id: ContractId) -> &[Path] {
+        &self.contract_paths[id.0]
     }
 
     pub fn config(&self) -> &PretiumConfig {
@@ -231,19 +326,22 @@ impl Pretium {
         s
     }
 
-    /// RA, step 1: generate the price menu for a request's parameters
-    /// (§4.1). Pure read of the network state.
-    pub fn quote(&mut self, params: &RequestParams) -> PriceMenu {
+    /// RA, step 1 against *live* state: the [`Sequencer`]'s re-quote for
+    /// tickets whose snapshot menu went stale mid-batch. Records timing
+    /// and the empty count symmetrically on every path, plus the requote
+    /// counter. External quoting goes through [`Pretium::snapshot`].
+    pub(crate) fn requote(&mut self, params: &RequestParams) -> PriceMenu {
         let t0 = Instant::now();
         let paths = self.path_cache.paths(&self.net, params.src, params.dst);
         let menu = if paths.is_empty() {
             PriceMenu::default()
         } else {
-            build_menu(&self.state, paths, params.start, params.deadline.min(self.horizon - 1))
+            build_menu(&self.state, &paths, params.start, params.deadline.min(self.horizon - 1))
         };
         if menu.is_empty() {
             self.telemetry.quotes_empty += 1;
         }
+        self.telemetry.quotes_requoted += 1;
         self.telemetry.quote.record(t0.elapsed());
         menu
     }
@@ -263,14 +361,16 @@ impl Pretium {
         menu: &PriceMenu,
         units: f64,
     ) -> Option<ContractId> {
+        let t0 = Instant::now();
         if units <= 1e-9 || menu.capacity_bound() <= 1e-9 {
             self.telemetry.accepts_rejected += 1;
+            self.telemetry.accept.record(t0.elapsed());
             return None;
         }
-        let t0 = Instant::now();
-        let paths = self.path_cache.paths(&self.net, params.src, params.dst).to_vec();
+        let paths: Vec<Path> = (*self.path_cache.paths(&self.net, params.src, params.dst)).clone();
         if paths.is_empty() {
             self.telemetry.accepts_rejected += 1;
+            self.telemetry.accept.record(t0.elapsed());
             return None;
         }
         let guaranteed = units.min(menu.capacity_bound());
@@ -313,6 +413,7 @@ impl Pretium {
             plan,
         });
         self.contract_paths.push(paths);
+        self.bump_epoch();
         self.telemetry.accepts_admitted += 1;
         self.telemetry.accept.record(t0.elapsed());
         self.run_audit(AuditPoint::Accept, params.arrival);
@@ -519,6 +620,7 @@ impl Pretium {
         // only shaves float noise — but whatever is shaved must also be
         // shaved from the plan, or `execute_step` bills flow the links
         // never carried.
+        self.bump_epoch();
         self.state.clear_reservations_from(now);
         for (j, &i) in carry.contract_of_job.iter().enumerate() {
             let mut plan = Vec::with_capacity(sol.flows[j].len());
@@ -681,6 +783,7 @@ impl Pretium {
         self.telemetry.lp_iterations += sol.lp_stats.iterations;
         self.telemetry.lp_pricing_scans += sol.lp_stats.pricing_scans;
         // Reference window: the pattern carried into the future.
+        self.bump_epoch();
         let ref_start = self.grid.window_start(w_now - back);
         for e in self.net.edge_ids() {
             let floor = price_floor(&self.net, &self.grid, &self.cfg, e);
@@ -706,6 +809,7 @@ impl Pretium {
     /// marking while the fault persists.
     pub fn inject_capacity_loss(&mut self, e: EdgeId, from: Timestep, to: Timestep, fraction: f64) {
         assert!((0.0..=1.0).contains(&fraction));
+        self.bump_epoch();
         let retained = 1.0 - fraction;
         for t in from..to.min(self.horizon) {
             let h = self.state.health(e, t).min(retained);
@@ -720,6 +824,7 @@ impl Pretium {
     /// `t ∈ [from, to)` — fault recovery (§4.4). Windows already marked
     /// contaminated stay marked; the fault did happen in them.
     pub fn restore_capacity(&mut self, e: EdgeId, from: Timestep, to: Timestep) {
+        self.bump_epoch();
         for t in from..to.min(self.horizon) {
             self.state.set_health(e, t, 1.0);
         }
@@ -734,6 +839,7 @@ impl Pretium {
     /// study externally chosen price patterns (e.g. the Figure 2 worked
     /// example) — normal operation lets the price computer manage prices.
     pub fn set_price(&mut self, e: EdgeId, t: Timestep, p: f64) {
+        self.bump_epoch();
         self.state.set_price(e, t, p);
     }
 
@@ -742,6 +848,7 @@ impl Pretium {
     /// run from a previous day's learned prices (the production system
     /// would have weeks of history; a fresh simulation has none).
     pub fn seed_prices(&mut self, pattern: impl Fn(EdgeId, usize) -> f64) {
+        self.bump_epoch();
         for e in self.net.edge_ids() {
             let floor = price_floor(&self.net, &self.grid, &self.cfg, e);
             for t in 0..self.horizon {

@@ -135,10 +135,12 @@ impl PoolTelemetry {
 /// All per-module counters of one Pretium instance.
 #[derive(Debug, Clone, Default)]
 pub struct Telemetry {
-    /// RA step 1: menu generation.
+    /// RA step 1: menu generation — snapshot quotes (folded in from each
+    /// retired [`crate::AdmissionSnapshot`]'s atomic counters) plus the
+    /// sequencer's live re-quotes.
     pub quote: ModuleStats,
-    /// RA step 2: purchases (only calls that reached the booking path;
-    /// trivial rejects — zero units, no route — are counted separately).
+    /// RA step 2: every purchase decision, rejections included (the
+    /// admitted/rejected split lives in the counters below).
     pub accept: ModuleStats,
     /// SAM re-optimizations that actually solved.
     pub sam: ModuleStats,
@@ -150,6 +152,12 @@ pub struct Telemetry {
     pub audit: ModuleStats,
     /// Quotes that came back empty (no route or no sellable capacity).
     pub quotes_empty: u64,
+    /// Batch tickets whose snapshot menu went stale (its slot footprint
+    /// overlapped an earlier accept's reservations) and were re-quoted
+    /// against live state by the sequencer.
+    pub quotes_requoted: u64,
+    /// Admission snapshots published (one per epoch with quote traffic).
+    pub snapshots: u64,
     /// Purchases booked as contracts.
     pub accepts_admitted: u64,
     /// Purchases rejected (walked away, empty menu, or no route).
@@ -205,6 +213,8 @@ impl Telemetry {
             timing("execute_step", &self.execute),
             timing("audit", &self.audit),
             ("quotes empty".into(), self.quotes_empty.to_string()),
+            ("quotes requoted".into(), self.quotes_requoted.to_string()),
+            ("snapshots published".into(), self.snapshots.to_string()),
             ("accepts admitted".into(), self.accepts_admitted.to_string()),
             ("accepts rejected".into(), self.accepts_rejected.to_string()),
             ("sam skipped".into(), self.sam_skipped.to_string()),
@@ -281,8 +291,10 @@ mod tests {
     fn rows_cover_every_counter() {
         let t = Telemetry::default();
         let rows = t.rows();
-        assert_eq!(rows.len(), 21);
+        assert_eq!(rows.len(), 23);
         assert!(rows.iter().any(|(k, _)| k.starts_with("run_sam")));
+        assert!(rows.iter().any(|(k, _)| k == "quotes requoted"));
+        assert!(rows.iter().any(|(k, _)| k == "snapshots published"));
         assert!(rows.iter().any(|(k, _)| k == "audit violations"));
         assert!(rows.iter().any(|(k, _)| k == "guarantees shed"));
         assert!(rows.iter().any(|(k, _)| k == "rerouted units"));

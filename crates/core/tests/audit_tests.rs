@@ -64,19 +64,19 @@ fn accept_on_empty_menu_is_rejected() {
 
     // First customer buys every sellable unit (2 steps × 10).
     let p0 = params(0, 0, 1, 20.0, 0, 1);
-    let menu0 = pretium.quote(&p0);
+    let (menu0, id0) = pretium.admit_one(&p0, |_| 20.0);
     assert!((menu0.capacity_bound() - 20.0).abs() < 1e-9);
-    assert!(pretium.accept(&p0, &menu0, 20.0).is_some());
+    assert!(id0.is_some());
 
     // Second customer: nothing left, so the menu backs zero units.
     let p1 = params(1, 0, 1, 5.0, 0, 1);
-    let menu1 = pretium.quote(&p1);
+    // Even a customer who insists on buying must be turned away — the
+    // pre-fix code booked this contract with payment = λ = ∞.
+    let (menu1, id1) = pretium.admit_one(&p1, |_| 5.0);
     assert!(menu1.is_empty(), "saturated link must quote an empty menu");
     assert_eq!(menu1.capacity_bound(), 0.0);
     assert!(menu1.price(1.0).is_infinite());
-    // Even a customer who insists on buying must be turned away — the
-    // pre-fix code booked this contract with payment = λ = ∞.
-    assert!(pretium.accept(&p1, &menu1, 5.0).is_none());
+    assert!(id1.is_none());
     assert_eq!(pretium.contracts().len(), 1);
     assert_eq!(pretium.telemetry().accepts_rejected, 1);
     for c in pretium.contracts() {
@@ -94,11 +94,11 @@ fn beyond_bound_purchase_pays_finite_best_effort_price() {
     let grid = TimeGrid::new(2, 30);
     let mut pretium = Pretium::new(net, grid, 2, cfg_plain());
     let p = params(0, 0, 1, 30.0, 0, 1);
-    let menu = pretium.quote(&p);
+    let (menu, id) = pretium.admit_one(&p, |_| 30.0);
     assert!((menu.capacity_bound() - 20.0).abs() < 1e-9);
     let best_effort = menu.best_effort_price().unwrap();
     let expected = menu.price(20.0) + 10.0 * best_effort;
-    let id = pretium.accept(&p, &menu, 30.0).unwrap();
+    let id = id.unwrap();
     let c = pretium.contract(id);
     assert!(c.payment.is_finite());
     assert!((c.payment - expected).abs() < 1e-9, "payment {} != {expected}", c.payment);
@@ -122,9 +122,7 @@ fn clamped_plans_stay_within_reservations_under_saturation() {
     // sellable units; each accept books against the residual state.
     for (i, demand) in [(0u32, 18.0), (1, 18.0), (2, 18.0)] {
         let p = params(i, 0, 1, demand, 0, 3);
-        let menu = pretium.quote(&p);
-        let units = menu.optimal_purchase(10.0, demand);
-        pretium.accept(&p, &menu, units);
+        pretium.admit_one(&p, |menu| menu.optimal_purchase(10.0, demand));
     }
     for t in 0..horizon {
         pretium.run_sam(t, &usage).unwrap();
@@ -187,9 +185,8 @@ fn full_loop_replay_is_audit_clean() {
             let value = 0.2 + ((i * 13) % 17) as f64 * 0.3;
             let deadline = (t + 1 + (i as usize * 5) % 6).min(horizon - 1);
             let p = params(i, src, dst, demand, t, deadline);
-            let menu = pretium.quote(&p);
-            let units = menu.optimal_purchase(value, demand);
-            if pretium.accept(&p, &menu, units).is_some() {
+            let (_menu, id) = pretium.admit_one(&p, |menu| menu.optimal_purchase(value, demand));
+            if id.is_some() {
                 admitted += 1;
             }
         }

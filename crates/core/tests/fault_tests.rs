@@ -119,9 +119,8 @@ fn randomized_fault_plans_degrade_gracefully() {
             }
             for (start, p) in &arrivals {
                 if *start == now {
-                    let menu = system.quote(p);
-                    let units = menu.optimal_purchase(rng.gen_range(2.0..8.0), p.demand);
-                    let _ = system.accept(p, &menu, units);
+                    let value = rng.gen_range(2.0..8.0);
+                    system.admit_one(p, |menu| menu.optimal_purchase(value, p.demand));
                 }
             }
             system.run_sam(now, &usage).unwrap_or_else(|e| {
@@ -190,12 +189,10 @@ fn infeasible_fallback_sheds_lowest_lambda_then_relaxes() {
     }
     // R0 buys 12: 10 @ step0 + 2 @ step1 -> λ = 2 (the cheap buyer).
     let p0 = params(0, 0, 1, 12.0, 0, 3);
-    let menu0 = system.quote(&p0);
-    let r0 = system.accept(&p0, &menu0, 12.0).expect("R0 admitted");
+    let r0 = system.admit_one(&p0, |_| 12.0).1.expect("R0 admitted");
     // R1 buys 12: 8 @ step1 + 4 @ step2 -> λ = 3 (values it more).
     let p1 = params(1, 0, 1, 12.0, 0, 3);
-    let menu1 = system.quote(&p1);
-    let r1 = system.accept(&p1, &menu1, 12.0).expect("R1 admitted");
+    let r1 = system.admit_one(&p1, |_| 12.0).1.expect("R1 admitted");
     let (lam0, lam1) = (system.contract(r0).lambda, system.contract(r1).lambda);
     assert!(lam0 < lam1, "test setup: λ0={lam0} must be below λ1={lam1}");
 
@@ -261,8 +258,7 @@ fn solver_pressure_keeps_previous_plan() {
     let mut system = Pretium::new(net.clone(), grid, horizon, cfg);
     let mut usage = UsageTracker::new(net.num_edges(), horizon);
     let p = params(0, 0, 1, 20.0, 0, 3);
-    let menu = system.quote(&p);
-    let id = system.accept(&p, &menu, 20.0).expect("admitted");
+    let id = system.admit_one(&p, |_| 20.0).1.expect("admitted");
     system.execute_step(0, &mut usage);
     let plan_before = system.contract(id).plan.clone();
 
@@ -301,8 +297,7 @@ fn pc_freezes_prices_after_contaminated_window() {
     let mut system = Pretium::new(net.clone(), grid, horizon, cfg);
     let mut usage = UsageTracker::new(net.num_edges(), horizon);
     let p = params(0, 0, 1, 30.0, 0, 3);
-    let menu = system.quote(&p);
-    system.accept(&p, &menu, menu.optimal_purchase(5.0, p.demand));
+    system.admit_one(&p, |menu| menu.optimal_purchase(5.0, p.demand));
     let price_before: Vec<f64> = (4..8).map(|t| system.state().price(e, t)).collect();
     for now in 0..4 {
         if now == 2 {

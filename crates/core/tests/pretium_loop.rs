@@ -67,9 +67,8 @@ fn figure2_example_reaches_welfare_34() {
             start,
             deadline,
         };
-        let menu = pretium.quote(&p);
-        let units = menu.optimal_purchase(value, demand);
-        if let Some(id) = pretium.accept(&p, &menu, units) {
+        let (_menu, id) = pretium.admit_one(&p, |menu| menu.optimal_purchase(value, demand));
+        if let Some(id) = id {
             welfare += value * pretium.contract(id).purchased;
         }
     }
@@ -119,9 +118,8 @@ fn full_loop_meets_guarantees_and_adapts_prices() {
         }
         if t < 3 {
             let p = params(t as u32, 0, 1, 35.0, t, 3);
-            let menu = pretium.quote(&p);
-            let units = menu.optimal_purchase(10.0, p.demand);
-            if let Some(id) = pretium.accept(&p, &menu, units) {
+            let (_menu, id) = pretium.admit_one(&p, |menu| menu.optimal_purchase(10.0, p.demand));
+            if let Some(id) = id {
                 accepted.push(id);
             }
         }
@@ -176,11 +174,14 @@ fn menus_defer_flexible_requests_off_peak() {
     pretium.set_price(e, 2, 0.5);
     pretium.set_price(e, 3, 0.5);
     let p = params(0, 0, 1, 15.0, 0, 3);
-    let menu = pretium.quote(&p);
     // Value 1.0: only the cheap steps (20 units at 0.5) clear the bar.
-    let units = menu.optimal_purchase(1.0, p.demand);
+    let mut units = 0.0;
+    let (_menu, id) = pretium.admit_one(&p, |menu| {
+        units = menu.optimal_purchase(1.0, p.demand);
+        units
+    });
     assert!((units - 15.0).abs() < 1e-9);
-    let id = pretium.accept(&p, &menu, units).unwrap();
+    let id = id.unwrap();
     let c = pretium.contract(id);
     assert!(
         c.plan.iter().all(|&(_, t, _)| t >= 2),
@@ -210,9 +211,8 @@ fn sam_reroutes_after_fault() {
     let mut pretium = Pretium::new(net.clone(), grid, 4, cfg);
     let mut usage = UsageTracker::new(net.num_edges(), 4);
     let p = params(0, 0, 3, 20.0, 0, 3);
-    let menu = pretium.quote(&p);
-    let units = menu.optimal_purchase(5.0, p.demand);
-    let id = pretium.accept(&p, &menu, units).unwrap();
+    let (_menu, id) = pretium.admit_one(&p, |menu| menu.optimal_purchase(5.0, p.demand));
+    let id = id.unwrap();
     assert!((pretium.contract(id).guaranteed - 20.0).abs() < 1e-6);
     // Step 0 executes normally.
     pretium.run_sam(0, &usage).unwrap();
@@ -253,8 +253,7 @@ fn nosam_keeps_preliminary_plan() {
     let mut pretium = Pretium::new(net.clone(), grid, 4, cfg);
     let mut usage = UsageTracker::new(net.num_edges(), 4);
     let p = params(0, 0, 1, 8.0, 0, 3);
-    let menu = pretium.quote(&p);
-    let id = pretium.accept(&p, &menu, 8.0).unwrap();
+    let id = pretium.admit_one(&p, |_| 8.0).1.unwrap();
     let plan_before = pretium.contract(id).plan.clone();
     pretium.run_sam(0, &usage).unwrap();
     assert_eq!(pretium.contract(id).plan, plan_before);
@@ -280,10 +279,10 @@ fn purchase_beyond_bound_guarantees_only_xbar() {
     };
     let mut pretium = Pretium::new(net, grid, 2, cfg);
     let p = params(0, 0, 1, 30.0, 0, 1);
-    let menu = pretium.quote(&p);
-    assert!((menu.capacity_bound() - 20.0).abs() < 1e-9);
     // Customer insists on 30 units.
-    let id = pretium.accept(&p, &menu, 30.0).unwrap();
+    let (menu, id) = pretium.admit_one(&p, |_| 30.0);
+    assert!((menu.capacity_bound() - 20.0).abs() < 1e-9);
+    let id = id.unwrap();
     let c = pretium.contract(id);
     assert!((c.purchased - 30.0).abs() < 1e-9);
     assert!((c.guaranteed - 20.0).abs() < 1e-9);

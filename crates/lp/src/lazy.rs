@@ -2,14 +2,16 @@
 //!
 //! Pretium's scheduling LPs contain one capacity row per `(link, timestep)`
 //! pair — `|E|·T` rows, of which only the congested few percent ever bind.
-//! Instead of materializing all of them, [`solve_with_rows`] solves a
-//! relaxation, asks a [`RowGen`] callback for rows the tentative optimum
-//! violates, adds them, and repeats until the optimum is feasible for the
-//! full row set. The final solution (and its duals, with absent rows having
-//! dual zero by construction) is optimal for the full problem.
+//! Instead of materializing all of them,
+//! [`crate::SolverSession::solve_lazy`] solves a relaxation, asks a
+//! [`RowGen`] callback for rows the tentative optimum violates, adds them,
+//! and repeats until the optimum is feasible for the full row set — warm-
+//! starting every round from the previous basis. The final solution (and
+//! its duals, with absent rows having dual zero by construction) is optimal
+//! for the full problem.
 
 use crate::model::{Cmp, Model, RowId};
-use crate::solution::{Solution, SolveError};
+use crate::solution::Solution;
 use crate::LinExpr;
 
 /// One row requested by a generator.
@@ -53,39 +55,21 @@ pub struct LazyOutcome {
     pub rounds: u32,
 }
 
-/// Solve `model` to optimality over its explicit rows **plus** all rows the
-/// generator can produce, materializing only violated ones.
-///
-/// `max_rounds` bounds the generation loop; if it is exhausted while rows
-/// are still violated, `SolveError::IterationLimit` is returned.
-///
-/// Deprecated: a free-standing call cannot keep the basis between rounds
-/// (nor across repeated invocations). [`crate::SolverSession::solve_lazy`]
-/// warm-starts every generation round from the previous basis and carries
-/// it to the next call.
-#[deprecated(since = "0.2.0", note = "use SolverSession::solve_lazy, which warm-starts rounds")]
-pub fn solve_with_rows(
-    model: &mut Model,
-    gen: &mut dyn RowGen,
-    max_rounds: u32,
-) -> Result<LazyOutcome, SolveError> {
-    use crate::session::{SolveOptions, SolverSession};
-    // Temporarily take ownership so the rounds share one session; generated
-    // rows stay in `model` either way.
-    let sense = model.sense();
-    let owned = std::mem::replace(model, Model::new(sense));
-    let mut session = SolverSession::new(owned);
-    let opts = SolveOptions { max_rounds, ..Default::default() };
-    let result = session.solve_lazy(gen, &opts);
-    *model = session.into_model();
-    result
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::session::{SolveOptions, SolverSession};
+    use crate::solution::SolveError;
     use crate::{Model, Sense};
+
+    fn solve_lazy(
+        model: Model,
+        gen: &mut dyn RowGen,
+        max_rounds: u32,
+    ) -> Result<LazyOutcome, SolveError> {
+        let mut session = SolverSession::new(model);
+        session.solve_lazy(gen, &SolveOptions { max_rounds, ..Default::default() })
+    }
 
     /// max x + y with hidden rows x <= 3, y <= 2, x + y <= 4 generated
     /// lazily; explicit model only bounds vars at 10.
@@ -115,7 +99,7 @@ mod tests {
                 })
                 .collect()
         };
-        let out = solve_with_rows(&mut m, &mut gen, 10).unwrap();
+        let out = solve_lazy(m, &mut gen, 10).unwrap();
         assert!((out.solution.objective() - 4.0).abs() < 1e-7);
         assert!(out.rounds >= 2, "should need at least one generation round");
     }
@@ -125,7 +109,7 @@ mod tests {
         let mut m = Model::new(Sense::Maximize);
         let _x = m.add_var("x", 0.0, 1.0, 1.0);
         let mut gen = |_: &Model, _: &Solution| Vec::new();
-        let out = solve_with_rows(&mut m, &mut gen, 5).unwrap();
+        let out = solve_lazy(m, &mut gen, 5).unwrap();
         assert_eq!(out.rounds, 1);
         assert!((out.solution.objective() - 1.0).abs() < 1e-9);
     }
@@ -146,7 +130,7 @@ mod tests {
                 key: n,
             }]
         };
-        let err = solve_with_rows(&mut m, &mut gen, 3).unwrap_err();
+        let err = solve_lazy(m, &mut gen, 3).unwrap_err();
         assert!(matches!(err, SolveError::IterationLimit { .. }));
     }
 }

@@ -81,8 +81,6 @@ pub mod solution;
 pub mod validate;
 
 pub use expr::{LinExpr, Term, Var};
-#[allow(deprecated)]
-pub use lazy::solve_with_rows;
 pub use lazy::{LazyOutcome, RowGen, RowRequest};
 pub use model::{Cmp, Model, RowId, Sense};
 pub use session::{Mutations, SessionStats, SolveOptions, SolverSession};

@@ -261,16 +261,6 @@ impl Model {
         solve_model(self, &self.options)
     }
 
-    /// Solve with explicit options (leaves the model's stored options
-    /// untouched).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use SolverSession::solve with SolveOptions { simplex: Some(..), .. }"
-    )]
-    pub fn solve_with(&self, options: &SimplexOptions) -> Result<Solution, SolveError> {
-        solve_model(self, options)
-    }
-
     /// Move the model into a [`crate::SolverSession`] for incremental
     /// re-optimization.
     pub fn into_session(self) -> crate::SolverSession {

@@ -9,6 +9,7 @@ use crate::graph::{EdgeId, Network, NodeId};
 use rand::{DetHashMap as HashMap, DetHashSet as HashSet};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::{Arc, Mutex};
 
 /// A loop-free directed path, stored as its edge sequence.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -218,11 +219,13 @@ pub fn k_shortest_paths(
     found.into_iter().map(|edges| Path::new(net, edges)).collect()
 }
 
-/// Cache of k-shortest paths per `(src, dst)` pair.
+/// Cache of k-shortest paths per `(src, dst)` pair. Entries are stored
+/// behind `Arc` so [`SharedPathSet`] can hand them out without holding its
+/// lock or copying the path vectors.
 #[derive(Debug, Clone, Default)]
 pub struct PathSet {
     k: usize,
-    cache: HashMap<(NodeId, NodeId), Vec<Path>>,
+    cache: HashMap<(NodeId, NodeId), Arc<Vec<Path>>>,
 }
 
 impl PathSet {
@@ -235,9 +238,19 @@ impl PathSet {
 
     /// Paths for `(src, dst)`, computed on first access.
     pub fn paths(&mut self, net: &Network, src: NodeId, dst: NodeId) -> &[Path] {
+        self.entry(net, src, dst)
+    }
+
+    /// Like [`PathSet::paths`], but returns a shared handle to the entry
+    /// (an `Arc` clone, no path copying).
+    pub fn paths_shared(&mut self, net: &Network, src: NodeId, dst: NodeId) -> Arc<Vec<Path>> {
+        Arc::clone(self.entry(net, src, dst))
+    }
+
+    fn entry(&mut self, net: &Network, src: NodeId, dst: NodeId) -> &Arc<Vec<Path>> {
         self.cache
             .entry((src, dst))
-            .or_insert_with(|| k_shortest_paths(net, src, dst, self.k, &|_| 1.0))
+            .or_insert_with(|| Arc::new(k_shortest_paths(net, src, dst, self.k, &|_| 1.0)))
     }
 
     /// Precompute all pairs (used by experiment setup so later calls are
@@ -255,6 +268,46 @@ impl PathSet {
 
     pub fn k(&self) -> usize {
         self.k
+    }
+}
+
+/// A [`PathSet`] shareable across threads: one interior-mutability cache
+/// handed (behind `Arc`) to every admission snapshot, so concurrent quote
+/// workers and the live system fill a single cache instead of cloning it
+/// per snapshot.
+///
+/// Path values are a pure function of `(net, src, dst, k)`, so the lock
+/// only serializes *when* an entry is computed, never *what* it contains —
+/// sharing is invisible to results.
+#[derive(Debug, Default)]
+pub struct SharedPathSet {
+    inner: Mutex<PathSet>,
+}
+
+impl SharedPathSet {
+    /// Create a shared cache that computes up to `k` paths per pair.
+    pub fn new(k: usize) -> Self {
+        SharedPathSet { inner: Mutex::new(PathSet::new(k)) }
+    }
+
+    /// Paths for `(src, dst)`, computed under the lock on first access.
+    pub fn paths(&self, net: &Network, src: NodeId, dst: NodeId) -> Arc<Vec<Path>> {
+        self.lock().paths_shared(net, src, dst)
+    }
+
+    /// Precompute all pairs so later lookups never compute under the lock.
+    pub fn precompute_all(&self, net: &Network) {
+        self.lock().precompute_all(net);
+    }
+
+    pub fn k(&self) -> usize {
+        self.lock().k()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PathSet> {
+        // Path computation cannot panic mid-insert in a way that corrupts
+        // the map; recover from poisoning instead of propagating it.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 }
 

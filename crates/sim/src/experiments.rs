@@ -282,46 +282,6 @@ pub fn compare_schemes_jobs(
     Ok(Comparison { scenario, opt, pretium, no_prices, region, peak, vcg })
 }
 
-/// Run one registry experiment on the engine and return its figure series.
-fn run_figure_experiment(
-    exp: std::sync::Arc<dyn crate::registry::Experiment>,
-    seed: u64,
-) -> Result<Vec<Series>, SolveError> {
-    let (specs, outs) = crate::registry::run_experiment_cells(
-        std::sync::Arc::clone(&exp),
-        seed,
-        crate::par::default_jobs(),
-    )?;
-    match exp.merge(&specs, outs) {
-        crate::registry::ExperimentResult::Figure { series, .. } => Ok(series),
-        other => unreachable!("expected a figure result, got {other:?}"),
-    }
-}
-
-/// Figure 6: welfare relative to OPT vs load factor, for every scheme.
-#[deprecated(note = "use registry::Fig6Welfare via registry()/run_experiments")]
-pub fn fig6_welfare(seed: u64, loads: &[f64]) -> Result<Vec<Series>, SolveError> {
-    use crate::registry::{Fig6Welfare, Scale};
-    run_figure_experiment(std::sync::Arc::new(Fig6Welfare::new(Scale::Evaluation, loads)), seed)
-}
-
-/// Figure 8: provider profit relative to RegionOracle vs load factor.
-/// When RegionOracle's profit is near zero the ratio is meaningless, so
-/// the denominator is floored at 1% of OPT welfare (ratios then read as
-/// "profit in units of 1% of achievable welfare").
-#[deprecated(note = "use registry::Fig8Profit via registry()/run_experiments")]
-pub fn fig8_profit(seed: u64, loads: &[f64]) -> Result<Vec<Series>, SolveError> {
-    use crate::registry::{Fig8Profit, Scale};
-    run_figure_experiment(std::sync::Arc::new(Fig8Profit::new(Scale::Evaluation, loads)), seed)
-}
-
-/// Figure 9: fraction of requests fully completed vs load factor.
-#[deprecated(note = "use registry::Fig9Completion via registry()/run_experiments")]
-pub fn fig9_completion(seed: u64, loads: &[f64]) -> Result<Vec<Series>, SolveError> {
-    use crate::registry::{Fig9Completion, Scale};
-    run_figure_experiment(std::sync::Arc::new(Fig9Completion::new(Scale::Evaluation, loads)), seed)
-}
-
 // ---------------------------------------------------------------------------
 // Figure 7 — dynamic prices at work (load factor 2).
 // ---------------------------------------------------------------------------
@@ -433,29 +393,6 @@ pub fn fig10_p90_utilization_cdf_on(config: &ScenarioConfig) -> Result<Vec<Serie
 }
 
 // ---------------------------------------------------------------------------
-// Figure 11 — ablations: Pretium-NoMenu and Pretium-NoSAM.
-// ---------------------------------------------------------------------------
-
-#[deprecated(note = "use registry::Fig11Ablations via registry()/run_experiments")]
-pub fn fig11_ablations(seed: u64, loads: &[f64]) -> Result<Vec<Series>, SolveError> {
-    use crate::registry::{Fig11Ablations, Scale};
-    run_figure_experiment(std::sync::Arc::new(Fig11Ablations::new(Scale::Evaluation, loads)), seed)
-}
-
-// ---------------------------------------------------------------------------
-// Figure 12 — sensitivity to mean link cost (load factor 1).
-// ---------------------------------------------------------------------------
-
-#[deprecated(note = "use registry::Fig12LinkCost via registry()/run_experiments")]
-pub fn fig12_link_cost(seed: u64, cost_scales: &[f64]) -> Result<Vec<Series>, SolveError> {
-    use crate::registry::{Fig12LinkCost, Scale};
-    run_figure_experiment(
-        std::sync::Arc::new(Fig12LinkCost::new(Scale::Evaluation, cost_scales)),
-        seed,
-    )
-}
-
-// ---------------------------------------------------------------------------
 // Figures 13/14 — sensitivity to the request-value distribution (load 1).
 // ---------------------------------------------------------------------------
 
@@ -467,21 +404,6 @@ pub struct ValueDistRow {
     pub pretium_welfare: f64,
     pub region_welfare: f64,
     pub profit_ratio: f64,
-}
-
-#[deprecated(note = "use registry::Fig13Values via registry()/run_experiments")]
-pub fn fig13_14_value_distributions(
-    seed: u64,
-    ratios: &[f64],
-) -> Result<Vec<ValueDistRow>, SolveError> {
-    use crate::registry::{Fig13Values, Scale};
-    let exp = std::sync::Arc::new(Fig13Values::new(Scale::Evaluation, ratios));
-    let (specs, outs) = crate::registry::run_experiment_cells(
-        exp.clone() as std::sync::Arc<dyn crate::registry::Experiment>,
-        seed,
-        crate::par::default_jobs(),
-    )?;
-    Ok(exp.rows(&specs, &outs))
 }
 
 // ---------------------------------------------------------------------------
@@ -542,9 +464,7 @@ pub fn table4_runtimes_on(config: &ScenarioConfig) -> Result<ModuleRuntimes, Sol
             let r = &scenario.requests[next];
             let params = pretium_core::RequestParams::from(r);
             let t0 = Instant::now();
-            let menu = system.quote(&params);
-            let units = menu.optimal_purchase(r.value, r.demand);
-            system.accept(&params, &menu, units);
+            system.admit_one(&params, |menu| menu.optimal_purchase(r.value, r.demand));
             rt.ra.push(t0.elapsed().as_secs_f64());
             next += 1;
         }

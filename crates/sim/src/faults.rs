@@ -93,6 +93,19 @@ impl FaultPlanConfig {
             ..Self::default()
         }
     }
+
+    /// The admission-surge profile: no capacity faults, a surge in every
+    /// window of `requests_per_step` requests — pure request-pressure on
+    /// the admission front end (the surge experiment runs this at 10–100×
+    /// the scenario's own arrival rate).
+    pub fn surge(seed: u64, requests_per_surge: usize) -> Self {
+        FaultPlanConfig {
+            seed,
+            surge_rate: 1.0,
+            surge_requests: requests_per_surge,
+            ..Self::default()
+        }
+    }
 }
 
 /// A deterministic schedule of [`FaultEvent`]s over one run's horizon.

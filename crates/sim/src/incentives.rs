@@ -273,8 +273,9 @@ mod tests {
             let truth = pretium_core::RequestParams::from(r);
             let mut tight = truth.clone();
             tight.deadline -= 1;
-            let menu_truth = system.quote(&truth);
-            let menu_tight = system.quote(&tight);
+            let snap = system.snapshot();
+            let menu_truth = snap.quote(&truth);
+            let menu_tight = snap.quote(&tight);
             // Monotonicity is guaranteed for the guaranteed range (<= x̄ of
             // the tighter menu); beyond that, prices are best-effort
             // extrapolations.

@@ -781,8 +781,8 @@ impl Fig13Values {
         }
     }
 
-    /// The typed rows (shared by [`Experiment::merge`] and the deprecated
-    /// `fig13_14_value_distributions` wrapper).
+    /// The typed rows behind [`Experiment::merge`], for callers that want
+    /// the numbers rather than rendered series.
     pub fn rows(&self, cells: &[CellSpec], outs: &[CellOut]) -> Vec<experiments::ValueDistRow> {
         self.sweep
             .per_point(cells, outs)
@@ -1013,6 +1013,51 @@ fn run_table4(scale: Scale, seed: u64, _part: &str) -> Result<String, SolveError
     Ok(render_table("Table 4: module runtimes", &rows))
 }
 
+/// The admission-surge cell: load 2.0 plus a fault-plan surge stream at
+/// ≥ 10× the scenario's own arrival volume, admitted through the pooled
+/// snapshot front end (`ra_jobs` = 2) with auditing forced on — graceful
+/// behavior under request pressure, with a clean audit trail, is the
+/// acceptance bar for the concurrent admission API.
+fn run_surge(scale: Scale, seed: u64, _part: &str) -> Result<String, SolveError> {
+    // One window is enough to saturate admission (the surge pressure is
+    // per-step, not cumulative), and it keeps the per-step SAM LP — which
+    // grows with every admitted surge contract — inside the suite's
+    // wall-clock budget at evaluation scale.
+    let mut cfg = scale.config(seed, 2.0);
+    cfg.windows = 1;
+    let sc = cfg.build();
+    // One surge per window; size the surges so their total is ≥ 10× the
+    // scenario's arrivals.
+    let windows = (sc.horizon / sc.grid.steps_per_window).max(1);
+    let per_surge = (10 * sc.requests.len()).div_ceil(windows).max(1);
+    let plan_cfg = FaultPlanConfig::surge(rand::derive_seed(seed, "surge-exp"), per_surge);
+    let plan = FaultPlan::for_scenario(&sc, &plan_cfg);
+    let surge_arrivals: usize = (0..sc.horizon).map(|t| plan.surges_at(t).count()).sum();
+    let cfg = PretiumConfig { ra_jobs: 2, audit: true, ..Default::default() };
+    let run = run_pretium_faulted(&sc, cfg, Variant::Full, &plan)?;
+    let scenario_admitted = run.contract_of_request.iter().filter(|c| c.is_some()).count();
+    let surge_admitted = run.system.contracts().len() - scenario_admitted;
+    let t = run.telemetry();
+    let aud = run.audit().expect("surge cell audits unconditionally");
+    let welfare = run.outcome.welfare(&sc.requests, &sc.net, &sc.grid, 1.0);
+    let rows = vec![
+        ("scenario arrivals".to_string(), sc.requests.len().to_string()),
+        (
+            "surge arrivals (≥10× scenario)".to_string(),
+            format!("{surge_arrivals} ({per_surge}/window)"),
+        ),
+        ("scenario admitted".to_string(), scenario_admitted.to_string()),
+        ("surge admitted".to_string(), surge_admitted.to_string()),
+        ("quotes".to_string(), t.quote.calls.to_string()),
+        ("quotes requoted (stale tickets)".to_string(), t.quotes_requoted.to_string()),
+        ("snapshots published".to_string(), t.snapshots.to_string()),
+        ("audit sweeps".to_string(), aud.checks().to_string()),
+        ("audit violations".to_string(), aud.violations().len().to_string()),
+        ("scenario welfare".to_string(), format!("{welfare:.1}")),
+    ];
+    Ok(render_table("Admission surge: pooled RA under 10x request pressure", &rows))
+}
+
 fn run_incentives(scale: Scale, seed: u64, _part: &str) -> Result<String, SolveError> {
     use crate::incentives::{analyze_deviations, Deviation};
     let sc = scale.config(seed, 1.0).build();
@@ -1153,13 +1198,14 @@ pub fn registry_at(scale: Scale) -> Vec<Arc<dyn Experiment>> {
         Arc::new(Fig13Values::new(scale, &[1.0, 2.0, 4.0])),
         Arc::new(TextExperiment::new("table4", &[], scale, &[""], run_table4)),
         Arc::new(TextExperiment::new("incentives", &[], scale, &[""], run_incentives)),
+        Arc::new(TextExperiment::new("surge", &["admission"], scale, &[""], run_surge)),
         Arc::new(AvailabilitySweep::new(scale, &FAILURE_RATES)),
     ]
 }
 
 /// Run one experiment's cells on the engine and return `(specs, outs)` in
-/// declaration order — for callers that want a typed merge (the deprecated
-/// figure wrappers) rather than the rendered [`ExperimentResult`].
+/// declaration order — for callers that want a typed merge (e.g.
+/// [`Fig13Values::rows`]) rather than the rendered [`ExperimentResult`].
 pub fn run_experiment_cells(
     exp: Arc<dyn Experiment>,
     seed: u64,

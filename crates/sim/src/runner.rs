@@ -2,13 +2,22 @@
 //! Pretium instance, driving the three module timescales exactly as §4
 //! prescribes — RA at every arrival, SAM every timestep, PC at every
 //! window boundary.
+//!
+//! RA is batched per timestep: each step's arrivals are quoted off one
+//! published [`pretium_core::AdmissionSnapshot`] (serially, or fanned out
+//! on the [`crate::par`] pool when `PretiumConfig::ra_jobs > 1`) and then
+//! admitted in arrival order by the deterministic
+//! [`pretium_core::Sequencer`] — bit-identical to the serial
+//! quote→accept interleaving at any worker count.
 
 use crate::faults::FaultPlan;
+use crate::par::{run_cells_ok, Cell};
 use crate::scenario::Scenario;
 use pretium_baselines::Outcome;
-use pretium_core::{Pretium, PretiumConfig, RequestParams};
+use pretium_core::{Pretium, PretiumConfig, QuoteTicket, RequestParams, Sequencer};
 use pretium_lp::{SessionStats, SolveError};
 use pretium_net::UsageTracker;
+use std::sync::Arc;
 
 /// Sentinel request index for contracts that did not come from the
 /// scenario's request stream (fault-plan surge traffic).
@@ -168,39 +177,44 @@ pub fn run_pretium_cold(
         if scenario.grid.step_in_window(t) == 0 && t > 0 {
             system.run_pc(t)?;
         }
-        // Request admission for this step's arrivals.
+        // Request admission for this step's arrivals: scenario requests
+        // (in index order) and fault-plan surge traffic join one batch,
+        // quoted off a single published snapshot and then sequenced in
+        // batch order. Surge contracts are accounted outside the
+        // scenario's request indices (see SURGE_SENTINEL).
+        let mut batch: Vec<(RequestParams, f64, f64, usize)> = Vec::new();
         while next_req < n && scenario.requests[next_req].arrival == t {
             let r = &scenario.requests[next_req];
-            let params = RequestParams::from(r);
-            let menu = system.quote(&params);
-            let units = match variant {
-                Variant::NoMenu => menu.all_or_nothing_purchase(r.value, r.demand),
-                _ => menu.optimal_purchase(r.value, r.demand),
-            };
-            if let Some(id) = system.accept(&params, &menu, units) {
-                outcome.admitted[next_req] = true;
-                outcome.payments[next_req] = system.contract(id).payment;
-                contract_req.push(next_req);
-            }
+            batch.push((RequestParams::from(r), r.value, r.demand, next_req));
             next_req += 1;
         }
-        // Surge traffic injected by the fault plan: admitted through the
-        // same quote/accept path as real arrivals, but accounted outside
-        // the scenario's request indices (see SURGE_SENTINEL).
         if let Some(plan) = faults {
             for r in plan.surges_at(t) {
-                let params = RequestParams::from(r);
-                let menu = system.quote(&params);
-                let units = menu.optimal_purchase(r.value, r.demand);
-                if system.accept(&params, &menu, units).is_some() {
-                    contract_req.push(SURGE_SENTINEL);
-                }
+                batch.push((RequestParams::from(r), r.value, r.demand, SURGE_SENTINEL));
             }
         }
-        // Schedule adjustment.
-        if t % system.config().sam_every.max(1) == 0 {
-            system.run_sam(t, &usage)?;
+        let tickets = quote_batch(&mut system, &batch, t);
+        // The sequencer is created even on empty steps: `finish` owns the
+        // SAM cadence the serial loop ran inline.
+        let mut seq = Sequencer::new(&mut system);
+        for (ticket, &(_, value, demand, ri)) in tickets.iter().zip(&batch) {
+            let admitted = seq.admit(ticket, |menu| match variant {
+                // Surges always respond optimally, even under NoMenu.
+                Variant::NoMenu if ri != SURGE_SENTINEL => {
+                    menu.all_or_nothing_purchase(value, demand)
+                }
+                _ => menu.optimal_purchase(value, demand),
+            });
+            if let Some(id) = admitted {
+                if ri != SURGE_SENTINEL {
+                    outcome.admitted[ri] = true;
+                    outcome.payments[ri] = seq.contract(id).payment;
+                }
+                contract_req.push(ri);
+            }
         }
+        // Schedule adjustment (at the configured cadence).
+        seq.finish(t, &usage)?;
         // Move bytes, logging per-contract deltas.
         system.execute_step(t, &mut usage);
         delivery_log.resize(system.contracts().len(), Vec::new());
@@ -226,6 +240,41 @@ pub fn run_pretium_cold(
     delivery_log.resize(system.contracts().len(), Vec::new());
     let lp_stats = system.lp_stats();
     Ok(PretiumRun { outcome, system, delivery_log, contract_of_request, lp_stats })
+}
+
+/// Quote one timestep's arrival batch off a single published snapshot.
+///
+/// With `ra_jobs <= 1` quotes run serially on the caller's thread; above
+/// that they fan out over the work-stealing pool, one cell per request.
+/// Either way results come back in batch order and the snapshot's quote
+/// telemetry is absorbed before sequencing, so the two paths are
+/// indistinguishable downstream.
+fn quote_batch(
+    system: &mut Pretium,
+    batch: &[(RequestParams, f64, f64, usize)],
+    t: usize,
+) -> Vec<QuoteTicket> {
+    if batch.is_empty() {
+        return Vec::new();
+    }
+    let snap = system.snapshot();
+    let jobs = system.config().ra_jobs;
+    let tickets = if jobs <= 1 {
+        batch.iter().map(|(params, ..)| snap.ticket(params)).collect()
+    } else {
+        let cells: Vec<Cell<QuoteTicket, std::convert::Infallible>> = batch
+            .iter()
+            .map(|(params, ..)| {
+                let snap = Arc::clone(&snap);
+                let params = params.clone();
+                Cell::new(format!("ra/t{t}/req{:?}", params.id), move || Ok(snap.ticket(&params)))
+            })
+            .collect();
+        let (tickets, _pool) = run_cells_ok(jobs, cells);
+        tickets
+    };
+    system.absorb_quotes(&snap);
+    tickets
 }
 
 #[cfg(test)]

@@ -1,0 +1,134 @@
+//! The snapshot/sequencer admission contract:
+//!
+//! 1. Quoting off an [`AdmissionSnapshot`] is a pure read — a parallel
+//!    fan-out over the work-stealing pool returns bit-identical menus to a
+//!    serial walk of the same snapshot.
+//! 2. Admission through the [`Sequencer`] is deterministic in the batch
+//!    order, never in worker count: full faulted replays at `ra_jobs`
+//!    1 / 2 / 8 (under a surge plan that makes batches wide enough to
+//!    collide) produce identical contract streams and welfare.
+//!
+//! `tests/determinism.rs` (which must keep passing unmodified) covers the
+//! cross-`--jobs` experiment engine; this file covers the admission layer
+//! underneath it.
+
+use pretium_core::{PretiumConfig, QuoteTicket, RequestParams};
+use pretium_sim::par::run_cells_ok;
+use pretium_sim::{
+    run_pretium, run_pretium_faulted, Cell, FaultPlan, FaultPlanConfig, PretiumRun, ScenarioConfig,
+    Variant,
+};
+use std::sync::Arc;
+
+/// Pooled quotes off one snapshot are bit-identical to serial quotes off
+/// the same snapshot (and the snapshot's state is untouched by quoting).
+#[test]
+fn parallel_snapshot_quotes_match_serial_bit_for_bit() {
+    let sc = ScenarioConfig::tiny(7).build();
+    // Warm a system to mid-run state so prices/reservations are non-trivial.
+    let run = run_pretium(&sc, PretiumConfig::default(), Variant::Full).unwrap();
+    let mut system = run.system;
+    let snap = system.snapshot();
+
+    let params: Vec<RequestParams> = sc.requests.iter().map(RequestParams::from).collect();
+    let serial: Vec<_> = params.iter().map(|p| snap.quote(p)).collect();
+
+    let cells: Vec<Cell<QuoteTicket, std::convert::Infallible>> = params
+        .iter()
+        .map(|p| {
+            let snap = Arc::clone(&snap);
+            let p = p.clone();
+            Cell::new(format!("quote/{:?}", p.id), move || Ok(snap.ticket(&p)))
+        })
+        .collect();
+    let (pooled, _telemetry) = run_cells_ok(8, cells);
+
+    assert_eq!(pooled.len(), serial.len());
+    for (ticket, menu) in pooled.iter().zip(&serial) {
+        assert_eq!(&ticket.menu, menu, "pooled quote diverged for {:?}", ticket.params.id);
+        assert_eq!(ticket.epoch, snap.epoch());
+    }
+}
+
+/// A mutation (an accept) bumps the epoch, and the next snapshot sees it.
+#[test]
+fn snapshots_are_republished_per_epoch() {
+    let sc = ScenarioConfig::tiny(9).build();
+    let run = run_pretium(&sc, PretiumConfig::default(), Variant::Full).unwrap();
+    let mut system = run.system;
+    let before = system.epoch();
+    let s1 = system.snapshot();
+    // Unchanged epoch: the published snapshot is reused, not recloned.
+    let s2 = system.snapshot();
+    assert!(Arc::ptr_eq(&s1, &s2));
+
+    let p = RequestParams::from(&sc.requests[0]);
+    system.admit_one(&p, |menu| menu.optimal_purchase(5.0, p.demand));
+    assert!(system.epoch() > before, "an accept must bump the epoch");
+    let s3 = system.snapshot();
+    assert!(!Arc::ptr_eq(&s1, &s3), "a new epoch publishes a fresh snapshot");
+}
+
+fn surge_run(jobs: usize) -> PretiumRun {
+    let sc = ScenarioConfig::tiny(13).build();
+    // A surge every window, several requests per surge: admission batches
+    // get wide enough that tickets genuinely collide on slots and the
+    // sequencer's re-quote path is exercised.
+    let plan = FaultPlan::for_scenario(&sc, &FaultPlanConfig::surge(99, 6));
+    let cfg = PretiumConfig { ra_jobs: jobs, audit: true, ..Default::default() };
+    run_pretium_faulted(&sc, cfg, Variant::Full, &plan).unwrap()
+}
+
+/// The tentpole determinism claim: the full replay — admission decisions,
+/// contract stream, payments, deliveries, welfare inputs — is bit-identical
+/// at any RA worker count, including the serial reference.
+#[test]
+fn sequencer_admission_is_bit_identical_across_ra_jobs() {
+    let base = surge_run(1);
+    for jobs in [2usize, 8] {
+        let run = surge_run(jobs);
+        assert_eq!(
+            run.outcome.admitted, base.outcome.admitted,
+            "admission flags diverged at ra_jobs={jobs}"
+        );
+        assert_eq!(
+            run.outcome.payments, base.outcome.payments,
+            "payments diverged at ra_jobs={jobs}"
+        );
+        assert_eq!(
+            run.outcome.delivered, base.outcome.delivered,
+            "deliveries diverged at ra_jobs={jobs}"
+        );
+        assert_eq!(run.contract_of_request, base.contract_of_request);
+        // The contract stream itself: same ids in the same order with the
+        // same bookings (surge contracts included).
+        let stream = |r: &PretiumRun| -> Vec<(u32, f64, f64)> {
+            r.system.contracts().iter().map(|c| (c.params.id.0, c.purchased, c.payment)).collect()
+        };
+        assert_eq!(stream(&run), stream(&base), "contract stream diverged at ra_jobs={jobs}");
+        let aud = run.audit().expect("cfg.audit = true");
+        assert!(aud.is_clean(), "ra_jobs={jobs}: {:?}", aud.violations());
+    }
+    // The surge plan did its job: batches were wide enough to make at
+    // least one snapshot ticket stale (the re-quote path actually ran).
+    assert!(base.telemetry().quotes_requoted > 0, "surge batches never collided — widen them");
+    assert!(base.telemetry().snapshots > 0);
+}
+
+/// The registry's surge cell renders identically at pool jobs 1 vs 8 (its
+/// internal ra_jobs is fixed at 2; this checks the cell is a pure function
+/// of its spec like every other experiment).
+#[test]
+fn surge_experiment_is_bit_identical_across_job_counts() {
+    use pretium_sim::registry::{registry_at, run_experiments, Scale};
+    let pick = |jobs: usize| {
+        let exps: Vec<_> =
+            registry_at(Scale::Tiny).into_iter().filter(|e| e.name() == "surge").collect();
+        let (results, _) = run_experiments(&exps, rand::DEFAULT_SEED, jobs).unwrap();
+        results.into_iter().map(|(name, res)| (name, format!("{res:?}"))).collect::<Vec<_>>()
+    };
+    let serial = pick(1);
+    let pooled = pick(8);
+    assert_eq!(serial, pooled);
+    assert_eq!(serial.len(), 1);
+}

@@ -41,9 +41,9 @@ fn main() {
             start: 0,
             deadline: rng.gen_range(8..horizon - 1),
         };
-        let menu = system.quote(&params);
-        let units = menu.optimal_purchase(3.0, params.demand);
-        if let Some(id) = system.accept(&params, &menu, units) {
+        let (_menu, id) =
+            system.admit_one(&params, |menu| menu.optimal_purchase(3.0, params.demand));
+        if let Some(id) = id {
             admitted.push(id);
         }
     }

@@ -46,9 +46,8 @@ fn run_with_prices(label: &str, prices: impl Fn(usize, usize) -> f64) -> f64 {
             start,
             deadline,
         };
-        let menu = system.quote(&params);
-        let units = menu.optimal_purchase(value, demand);
-        let bought = system.accept(&params, &menu, units).map(|id| system.contract(id).purchased);
+        let (_menu, id) = system.admit_one(&params, |menu| menu.optimal_purchase(value, demand));
+        let bought = id.map(|id| system.contract(id).purchased);
         let x = bought.unwrap_or(0.0);
         welfare += value * x;
         println!("  {name}: bought {x:.0}/{demand:.0} units (value {value}/unit)");

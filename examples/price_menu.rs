@@ -50,7 +50,7 @@ fn main() {
             start: 0,
             deadline,
         };
-        let menu = system.quote(&params);
+        let menu = system.snapshot().quote(&params);
         println!("Price menu: transfer S->T, {label}");
         println!("  guarantee bound x̄ = {:.1}", menu.capacity_bound());
         let mut cum = 0.0;
@@ -75,7 +75,7 @@ fn main() {
             start: 0,
             deadline: 1,
         };
-        system.quote(&p)
+        system.snapshot().quote(&p)
     };
     let shorter = {
         let p = RequestParams {
@@ -87,7 +87,7 @@ fn main() {
             start: 0,
             deadline: 0,
         };
-        system.quote(&p)
+        system.snapshot().quote(&p)
     };
     // Monotonicity holds for guaranteed service (up to the shorter menu's
     // x̄); beyond x̄ quantities are best-effort extrapolations.

@@ -50,16 +50,19 @@ fn main() {
             start,
             deadline,
         };
-        let menu = system.quote(&params);
+        // The Theorem 5.2 user response: buy while marginal price <= value.
+        let mut units = 0.0;
+        let (menu, admitted) = system.admit_one(&params, |menu| {
+            units = menu.optimal_purchase(value, demand);
+            units
+        });
         println!(
             "request {i}: {src}->{dst}, {demand} units by t={deadline}; \
              x̄={:.1}, cheapest marginal price {:.3}",
             menu.capacity_bound(),
             menu.marginal(0.0),
         );
-        // The Theorem 5.2 user response: buy while marginal price <= value.
-        let units = menu.optimal_purchase(value, demand);
-        match system.accept(&params, &menu, units) {
+        match admitted {
             Some(id) => {
                 let c = system.contract(id);
                 println!(

@@ -36,9 +36,13 @@
 //!     start: 0,
 //!     deadline: 12,
 //! };
-//! let menu = system.quote(&params);
-//! let units = menu.optimal_purchase(/*value=*/1.0, params.demand);
-//! if let Some(id) = system.accept(&params, &menu, units) {
+//! // Pricing is a pure read off a published snapshot; the customer's
+//! // private value stays inside the response closure, and the booking
+//! // goes through the deterministic sequencer.
+//! let (menu, admitted) =
+//!     system.admit_one(&params, |menu| menu.optimal_purchase(/*value=*/1.0, params.demand));
+//! assert!(menu.capacity_bound() >= 0.0);
+//! if let Some(id) = admitted {
 //!     assert!(system.contract(id).guaranteed > 0.0);
 //! }
 //! ```

@@ -102,9 +102,10 @@ fn guarantees_hold_under_injected_faults() {
     for t in 0..sc.horizon {
         while next < sc.requests.len() && sc.requests[next].arrival == t {
             let r = &sc.requests[next];
-            let menu = system.quote(&RequestParams::from(r));
-            let units = menu.optimal_purchase(r.value, r.demand);
-            if let Some(id) = system.accept(&RequestParams::from(r), &menu, units) {
+            let params = RequestParams::from(r);
+            let (_menu, id) =
+                system.admit_one(&params, |menu| menu.optimal_purchase(r.value, r.demand));
+            if let Some(id) = id {
                 admitted.push(id);
             }
             next += 1;
