@@ -139,7 +139,7 @@ mod tests {
     use pretium_net::{LinkCost, Region};
     use pretium_workload::{RequestId, RequestKind};
 
-    fn req(id: u32, value: f64, demand: f64, start: usize, deadline: usize) -> Request {
+    fn req(id: u64, value: f64, demand: f64, start: usize, deadline: usize) -> Request {
         Request {
             id: RequestId(id),
             src: pretium_net::NodeId(0),

@@ -81,7 +81,7 @@ mod tests {
         net
     }
 
-    fn req(id: u32, src: u32, dst: u32, value: f64, demand: f64) -> Request {
+    fn req(id: u64, src: u32, dst: u32, value: f64, demand: f64) -> Request {
         Request {
             id: RequestId(id),
             src: pretium_net::NodeId(src),

@@ -77,6 +77,16 @@ impl SnapshotStats {
         telemetry.quote.max_nanos = telemetry.quote.max_nanos.max(max);
         telemetry.quotes_empty += self.empty.swap(0, Ordering::Relaxed);
     }
+
+    /// Move the counters into another accumulator (the owning system's
+    /// pending sink) — the `Drop` path, where no `&mut Telemetry` is
+    /// reachable. Idempotent like [`SnapshotStats::drain_into`].
+    fn drain_into_stats(&self, sink: &SnapshotStats) {
+        sink.quotes.fetch_add(self.quotes.swap(0, Ordering::Relaxed), Ordering::Relaxed);
+        sink.empty.fetch_add(self.empty.swap(0, Ordering::Relaxed), Ordering::Relaxed);
+        sink.total_nanos.fetch_add(self.total_nanos.swap(0, Ordering::Relaxed), Ordering::Relaxed);
+        sink.max_nanos.fetch_max(self.max_nanos.swap(0, Ordering::Relaxed), Ordering::Relaxed);
+    }
 }
 
 /// An immutable admission view published at one epoch: prices + planned
@@ -90,6 +100,18 @@ pub struct AdmissionSnapshot {
     state: NetworkState,
     paths: Arc<SharedPathSet>,
     pub(crate) stats: SnapshotStats,
+    /// The owning system's pending-quote sink. A snapshot can be retired
+    /// (its counters drained) while pool workers still hold `Arc`s and keep
+    /// quoting; whatever accrues after the drain is moved here on `Drop`
+    /// and flushed into [`Telemetry`] at the system's next epoch bump or
+    /// explicit absorb — no quote is ever lost.
+    pending: Arc<SnapshotStats>,
+}
+
+impl Drop for AdmissionSnapshot {
+    fn drop(&mut self) {
+        self.stats.drain_into_stats(&self.pending);
+    }
 }
 
 impl AdmissionSnapshot {
@@ -99,8 +121,17 @@ impl AdmissionSnapshot {
         net: Arc<Network>,
         state: NetworkState,
         paths: Arc<SharedPathSet>,
+        pending: Arc<SnapshotStats>,
     ) -> Self {
-        AdmissionSnapshot { epoch, horizon, net, state, paths, stats: SnapshotStats::default() }
+        AdmissionSnapshot {
+            epoch,
+            horizon,
+            net,
+            state,
+            paths,
+            stats: SnapshotStats::default(),
+            pending,
+        }
     }
 
     /// The [`Pretium::epoch`] this snapshot was published at.

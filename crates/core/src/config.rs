@@ -15,6 +15,43 @@ pub enum ReferenceWindow {
     WindowsBack(usize),
 }
 
+/// Incremental SAM re-optimization mode (DESIGN.md §16).
+///
+/// When a SAM step follows a *localized* change — a few accepts, a fault
+/// with a known touched-edge set — the schedule session can freeze every
+/// untouched job block at its current plan and re-solve only the affected
+/// blocks against residual capacities, adopting the composite only when its
+/// KKT certificate holds. `Off` keeps the full (warm-started) re-solve on
+/// every step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IncrementalSam {
+    /// Always re-solve the full LP (warm-started).
+    Off,
+    /// Localized solves certified at the solver's own feasibility
+    /// tolerance — the composite is the exact LP optimum or it is
+    /// discarded.
+    Exact,
+    /// Localized solves certified at an explicit tolerance (looser than
+    /// `Exact` trades a little optimality slack for fewer fallbacks).
+    Certified {
+        /// Max reduced-cost / feasibility violation accepted.
+        tol: f64,
+    },
+}
+
+impl IncrementalSam {
+    /// The certification tolerance this mode demands (solver feasibility
+    /// tolerance for `Exact`).
+    pub fn tol(self) -> f64 {
+        match self {
+            // Matches SimplexOptions::default().feas_tol; solve_restricted
+            // takes the max of the two anyway.
+            IncrementalSam::Off | IncrementalSam::Exact => 1e-7,
+            IncrementalSam::Certified { tol } => tol,
+        }
+    }
+}
+
 /// All tunables of a Pretium instance. Defaults follow the paper where it
 /// states values, and DESIGN.md §8 where it does not.
 #[derive(Debug, Clone)]
@@ -61,6 +98,15 @@ pub struct PretiumConfig {
     /// SAM re-optimization, PC dual pricing). Deterministic given the
     /// model, so any choice preserves the cross-`--jobs` replay contract.
     pub pricing: Pricing,
+    /// Incremental SAM re-optimization on localized changes (DESIGN.md
+    /// §16). Off by default: the full warm re-solve is the reference
+    /// behavior, and every recorded experiment uses it unless stated.
+    pub incremental_sam: IncrementalSam,
+    /// Drift guard for incremental SAM: force a full re-solve every this
+    /// many SAM steps even when every intervening step certified (mirrors
+    /// the PR-5 repricing guard cadence). 0 disables the cadence (certify
+    /// only).
+    pub sam_full_every: usize,
 }
 
 impl Default for PretiumConfig {
@@ -81,6 +127,8 @@ impl Default for PretiumConfig {
             audit: false,
             degradation: DegradationPolicy::ShedThenRelax,
             pricing: Pricing::default(),
+            incremental_sam: IncrementalSam::Off,
+            sam_full_every: 16,
         }
     }
 }
@@ -100,6 +148,12 @@ mod tests {
         assert!(!c.audit);
         assert_eq!(c.degradation, DegradationPolicy::ShedThenRelax);
         assert_eq!(c.pricing, Pricing::PartialDevex);
+        // Incremental SAM is opt-in; the drift guard defaults to a full
+        // re-solve every 16 steps when it is on.
+        assert_eq!(c.incremental_sam, IncrementalSam::Off);
+        assert_eq!(c.sam_full_every, 16);
+        assert_eq!(IncrementalSam::Certified { tol: 1e-6 }.tol(), 1e-6);
+        assert_eq!(IncrementalSam::Exact.tol(), 1e-7);
     }
 
     #[test]

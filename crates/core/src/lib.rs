@@ -54,7 +54,7 @@ pub use contract::{Contract, ContractId, RequestParams};
 pub use degradation::{DegradationKind, DegradationPolicy, LedgerEntry, ViolationLedger};
 pub use menu::{build_menu, PriceMenu};
 pub use pretium::{initial_price, price_floor, Pretium};
-pub use schedule::{Job, ScheduleProblem, ScheduleSession, ScheduleSolution};
+pub use schedule::{Job, LocalizedOutcome, ScheduleProblem, ScheduleSession, ScheduleSolution};
 pub use state::{NetworkState, PriceBump};
 pub use telemetry::{ModuleStats, PoolTelemetry, Telemetry};
 pub use topk::{topk_upper_bound, TopkEncoding};

@@ -6,9 +6,9 @@
 //! timestep*; the PC recomputes prices *once per window* from the duals of
 //! an offline solve over recent history.
 
-use crate::admission::{AdmissionSnapshot, Sequencer};
+use crate::admission::{AdmissionSnapshot, Sequencer, SnapshotStats};
 use crate::audit::{AuditContext, AuditPoint, Auditor};
-use crate::config::{PretiumConfig, ReferenceWindow};
+use crate::config::{IncrementalSam, PretiumConfig, ReferenceWindow};
 use crate::contract::{Contract, ContractId, RequestParams};
 use crate::degradation::{DegradationKind, DegradationPolicy, ViolationLedger};
 use crate::menu::{build_menu, PriceMenu};
@@ -70,6 +70,11 @@ pub struct Pretium {
     /// The snapshot published for the current epoch, if any — reused by
     /// [`Pretium::snapshot`] until the next mutation retires it.
     published: Option<Arc<AdmissionSnapshot>>,
+    /// Quote counters recorded on retired snapshots *after* their drain
+    /// (pool workers can hold a superseded snapshot's `Arc` and keep
+    /// quoting); each snapshot empties into this sink on `Drop`, and the
+    /// sink flushes into [`Telemetry`] at every epoch bump.
+    pending_quotes: Arc<SnapshotStats>,
     contracts: Vec<Contract>,
     /// Admissible route set per contract (parallel to `contracts`).
     contract_paths: Vec<Vec<Path>>,
@@ -95,6 +100,14 @@ pub struct Pretium {
     /// Simplex iteration cap injected by the solver-pressure fault; SAM
     /// keeps its previous plan when a solve hits it.
     solver_pressure: Option<u64>,
+    /// Edges whose capacity changed since the last successful SAM run
+    /// (fault injections and recoveries report them). `None` means the
+    /// change scope is unknown — the next SAM step must re-solve the full
+    /// LP before localized re-optimization can resume (DESIGN.md §16).
+    sam_touched: Option<HashSet<EdgeId>>,
+    /// Consecutive SAM steps since the last full re-solve — the drift
+    /// guard compares this against [`PretiumConfig::sam_full_every`].
+    sam_since_full: usize,
 }
 
 impl Pretium {
@@ -120,6 +133,7 @@ impl Pretium {
             path_cache,
             epoch: 0,
             published: None,
+            pending_quotes: Arc::new(SnapshotStats::default()),
             contracts: Vec::new(),
             contract_paths: Vec::new(),
             pc_runs: 0,
@@ -131,6 +145,8 @@ impl Pretium {
             ledger: ViolationLedger::new(),
             fault_windows: HashSet::default(),
             solver_pressure: None,
+            sam_touched: None,
+            sam_since_full: 0,
         }
     }
 
@@ -169,6 +185,7 @@ impl Pretium {
             Arc::clone(&self.net),
             self.state.clone(),
             Arc::clone(&self.path_cache),
+            Arc::clone(&self.pending_quotes),
         ));
         self.telemetry.snapshots += 1;
         self.published = Some(Arc::clone(&snap));
@@ -181,15 +198,18 @@ impl Pretium {
         if let Some(snap) = self.published.take() {
             snap.stats.drain_into(&mut self.telemetry);
         }
+        self.pending_quotes.drain_into(&mut self.telemetry);
         self.epoch += 1;
     }
 
     /// Fold a snapshot's atomic quote counters into this system's
     /// telemetry. Idempotent; retiring a snapshot drains it automatically,
     /// so this is only needed for counters accrued after the last mutation
-    /// (e.g. the final batch of a run).
+    /// (e.g. the final batch of a run). Also flushes the pending sink of
+    /// counters that landed on already-retired snapshots.
     pub fn absorb_quotes(&mut self, snap: &AdmissionSnapshot) {
         snap.stats.drain_into(&mut self.telemetry);
+        self.pending_quotes.drain_into(&mut self.telemetry);
     }
 
     /// One-shot admission through the snapshot/sequencer path: publish (or
@@ -498,11 +518,49 @@ impl Pretium {
         // cap when that fault (§4.4) is injected.
         let opts = self.sam_opts();
         let lp_before = carry.sess.lp_stats();
-        let result = {
+        const SHORT_TOL: f64 = 1e-6;
+        // Localized re-optimization (DESIGN.md §16): when the changes since
+        // the last run are known to be a few accepts plus a reported
+        // touched-edge set, freeze every untouched job block and re-solve
+        // only the affected blocks — gated by the drift guard, which forces
+        // a full re-solve every `sam_full_every` steps regardless.
+        let use_localized = reusable
+            && self.cfg.incremental_sam != IncrementalSam::Off
+            && self.sam_touched.is_some()
+            && (self.cfg.sam_full_every == 0 || self.sam_since_full < self.cfg.sam_full_every);
+        // `local_path`: None = full solve, Some(false) = certified
+        // localized, Some(true) = localized attempt that fell back to full.
+        let (result, local_path) = {
             let state = &self.state;
             let capacity = |e: EdgeId, t: Timestep| state.sellable_capacity(e, t);
             let realized_fn = |e: EdgeId, t: Timestep| realized.at(e, t);
-            carry.sess.solve_step_with(&self.net, &capacity, &realized_fn, &opts)
+            if use_localized {
+                let touched = self.sam_touched.as_ref().expect("gated on is_some");
+                let tol = self.cfg.incremental_sam.tol();
+                match carry.sess.solve_step_localized(
+                    &self.net,
+                    &capacity,
+                    &realized_fn,
+                    touched,
+                    tol,
+                    &opts,
+                ) {
+                    Ok(loc) if !loc.used_full && loc.solution.max_shortfall() <= SHORT_TOL => {
+                        (Ok(loc.solution), Some(false))
+                    }
+                    Ok(loc) if loc.used_full => (Ok(loc.solution), Some(true)),
+                    // A certified localized plan reporting a shortfall:
+                    // re-solve the full LP for the authoritative optimum
+                    // before any guarantee is waived (§4.4).
+                    Ok(_) => (
+                        carry.sess.solve_step_with(&self.net, &capacity, &realized_fn, &opts),
+                        Some(true),
+                    ),
+                    Err(e) => (Err(e), None),
+                }
+            } else {
+                (carry.sess.solve_step_with(&self.net, &capacity, &realized_fn, &opts), None)
+            }
         };
         let mut sol = match result {
             Ok(sol) => sol,
@@ -510,6 +568,7 @@ impl Pretium {
                 // Retire the failed session (keeping its counters); the
                 // next SAM run rebuilds from scratch.
                 self.lp_stats.merge(carry.sess.lp_stats());
+                self.sam_touched = None;
                 if matches!(err, SolveError::IterationLimit { .. })
                     && self.solver_pressure.is_some()
                 {
@@ -522,7 +581,17 @@ impl Pretium {
                 return Err(err);
             }
         };
-        const SHORT_TOL: f64 = 1e-6;
+        match local_path {
+            Some(false) => {
+                self.telemetry.sam_localized += 1;
+                self.sam_since_full += 1;
+            }
+            Some(true) => {
+                self.telemetry.sam_localized_fallbacks += 1;
+                self.sam_since_full = 0;
+            }
+            None => self.sam_since_full = 0,
+        }
         if sol.max_shortfall() > SHORT_TOL {
             self.telemetry.sam_shortfalls += 1;
         }
@@ -588,6 +657,7 @@ impl Pretium {
                     Ok(s) => s,
                     Err(err) => {
                         self.lp_stats.merge(carry.sess.lp_stats());
+                        self.sam_touched = None;
                         if matches!(err, SolveError::IterationLimit { .. })
                             && self.solver_pressure.is_some()
                         {
@@ -661,6 +731,9 @@ impl Pretium {
         let lp_after = carry.sess.lp_stats();
         self.telemetry.lp_iterations += lp_after.iterations - lp_before.iterations;
         self.telemetry.lp_pricing_scans += lp_after.pricing_scans - lp_before.pricing_scans;
+        // The installed plans now reflect every capacity change reported so
+        // far; start accumulating touched edges for the next step.
+        self.sam_touched = Some(HashSet::default());
         self.sam = Some(carry);
         self.telemetry.sam.record(t0.elapsed());
         self.run_audit(AuditPoint::Sam, now);
@@ -810,6 +883,9 @@ impl Pretium {
     pub fn inject_capacity_loss(&mut self, e: EdgeId, from: Timestep, to: Timestep, fraction: f64) {
         assert!((0.0..=1.0).contains(&fraction));
         self.bump_epoch();
+        if let Some(touched) = self.sam_touched.as_mut() {
+            touched.insert(e);
+        }
         let retained = 1.0 - fraction;
         for t in from..to.min(self.horizon) {
             let h = self.state.health(e, t).min(retained);
@@ -825,6 +901,9 @@ impl Pretium {
     /// contaminated stay marked; the fault did happen in them.
     pub fn restore_capacity(&mut self, e: EdgeId, from: Timestep, to: Timestep) {
         self.bump_epoch();
+        if let Some(touched) = self.sam_touched.as_mut() {
+            touched.insert(e);
+        }
         for t in from..to.min(self.horizon) {
             self.state.set_health(e, t, 1.0);
         }

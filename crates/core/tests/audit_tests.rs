@@ -16,7 +16,7 @@ use pretium_net::{EdgeId, LinkCost, Network, Region, TimeGrid, Timestep, UsageTr
 use pretium_workload::RequestId;
 
 fn params(
-    id: u32,
+    id: u64,
     src: u32,
     dst: u32,
     demand: f64,
@@ -120,7 +120,7 @@ fn clamped_plans_stay_within_reservations_under_saturation() {
 
     // Three overlapping customers whose demands together exceed the 40
     // sellable units; each accept books against the residual state.
-    for (i, demand) in [(0u32, 18.0), (1, 18.0), (2, 18.0)] {
+    for (i, demand) in [(0u64, 18.0), (1, 18.0), (2, 18.0)] {
         let p = params(i, 0, 1, demand, 0, 3);
         pretium.admit_one(&p, |menu| menu.optimal_purchase(10.0, demand));
     }
@@ -174,8 +174,8 @@ fn full_loop_replay_is_audit_clean() {
         if grid.step_in_window(t) == 0 && t > 0 {
             pretium.run_pc(t).unwrap();
         }
-        for k in 0..2u32 {
-            let i = (t as u32) * 2 + k;
+        for k in 0..2u64 {
+            let i = (t as u64) * 2 + k;
             let (src, dst) = match i % 3 {
                 0 => (0u32, 2u32),
                 1 => (0, 1),

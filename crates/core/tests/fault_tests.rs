@@ -10,7 +10,7 @@ use rand::rngs::StdRng;
 use rand::{derive_seed, Rng, SeedableRng};
 
 fn params(
-    id: u32,
+    id: u64,
     src: u32,
     dst: u32,
     demand: f64,
@@ -72,7 +72,10 @@ fn randomized_fault_plans_degrade_gracefully() {
     for trial in 0..8u64 {
         let mut rng = StdRng::seed_from_u64(derive_seed(rand::DEFAULT_SEED, "fault-prop") ^ trial);
         let net = two_path_net();
-        let cfg = PretiumConfig { highpri_fraction: 0.0, k_paths: 2, ..Default::default() };
+        // audit: true — the release-built CI run has no debug-assertions
+        // auditor; the invariant sweep this test asserts on must be explicit.
+        let cfg =
+            PretiumConfig { highpri_fraction: 0.0, k_paths: 2, audit: true, ..Default::default() };
         let mut system = Pretium::new(net.clone(), grid, horizon, cfg);
         let mut usage = UsageTracker::new(net.num_edges(), horizon);
 
@@ -83,7 +86,7 @@ fn randomized_fault_plans_degrade_gracefully() {
                 let start = rng.gen_range(0usize..6);
                 let deadline = (start + rng.gen_range(1usize..=3)).min(horizon - 1);
                 let demand = rng.gen_range(3.0..15.0);
-                (start, params(i as u32, 0, 3, demand, start, deadline))
+                (start, params(i as u64, 0, 3, demand, start, deadline))
             })
             .collect();
         arrivals.sort_by_key(|(start, p)| (*start, p.id.0));
@@ -178,6 +181,9 @@ fn infeasible_fallback_sheds_lowest_lambda_then_relaxes() {
         highpri_fraction: 0.0,
         bump: PriceBump::disabled(),
         k_paths: 1,
+        // The final audit-clean assertion needs the auditor in release
+        // builds too (CI runs this suite --release).
+        audit: true,
         ..Default::default()
     };
     let mut system = Pretium::new(net.clone(), grid, horizon, cfg);
@@ -254,7 +260,9 @@ fn solver_pressure_keeps_previous_plan() {
     net.add_edge(a, b, 10.0, LinkCost::owned());
     let grid = TimeGrid::new(4, 30);
     let horizon = 4;
-    let cfg = PretiumConfig { highpri_fraction: 0.0, k_paths: 1, ..Default::default() };
+    // audit: true so the closing audit-clean assertion holds in release.
+    let cfg =
+        PretiumConfig { highpri_fraction: 0.0, k_paths: 1, audit: true, ..Default::default() };
     let mut system = Pretium::new(net.clone(), grid, horizon, cfg);
     let mut usage = UsageTracker::new(net.num_edges(), horizon);
     let p = params(0, 0, 1, 20.0, 0, 3);

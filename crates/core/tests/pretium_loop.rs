@@ -6,7 +6,7 @@ use pretium_net::{topology, LinkCost, Network, Region, TimeGrid, UsageTracker};
 use pretium_workload::RequestId;
 
 fn params(
-    id: u32,
+    id: u64,
     src: u32,
     dst: u32,
     demand: f64,
@@ -59,7 +59,7 @@ fn figure2_example_reaches_welfare_34() {
     let mut welfare = 0.0;
     for (i, &(src, dst, value, demand, start, deadline)) in reqs.iter().enumerate() {
         let p = RequestParams {
-            id: RequestId(i as u32),
+            id: RequestId(i as u64),
             src,
             dst,
             demand,
@@ -117,7 +117,7 @@ fn full_loop_meets_guarantees_and_adapts_prices() {
             pretium.run_pc(t).unwrap();
         }
         if t < 3 {
-            let p = params(t as u32, 0, 1, 35.0, t, 3);
+            let p = params(t as u64, 0, 1, 35.0, t, 3);
             let (_menu, id) = pretium.admit_one(&p, |menu| menu.optimal_purchase(10.0, p.demand));
             if let Some(id) = id {
                 accepted.push(id);
@@ -286,4 +286,37 @@ fn purchase_beyond_bound_guarantees_only_xbar() {
     let c = pretium.contract(id);
     assert!((c.purchased - 30.0).abs() < 1e-9);
     assert!((c.guaranteed - 20.0).abs() < 1e-9);
+}
+
+/// A snapshot superseded while its `Arc` is still held (a pool worker
+/// mid-quote) must not lose quote counters: whatever is recorded after the
+/// retirement drain flows through the pending sink on `Drop` and lands in
+/// telemetry at the next epoch bump.
+#[test]
+fn superseded_snapshot_quotes_drain_on_drop() {
+    let mut net = Network::new();
+    let a = net.add_node("A", Region::NorthAmerica);
+    let b = net.add_node("B", Region::NorthAmerica);
+    let e = net.add_edge(a, b, 10.0, LinkCost::owned());
+    let grid = TimeGrid::new(4, 30);
+    let cfg = PretiumConfig {
+        highpri_fraction: 0.0,
+        bump: PriceBump::disabled(),
+        k_paths: 1,
+        ..Default::default()
+    };
+    let mut pretium = Pretium::new(net, grid, 4, cfg);
+    let snap = pretium.snapshot();
+    let p = params(0, 0, 1, 5.0, 0, 3);
+    snap.quote(&p);
+    // Retire the published snapshot (epoch bump) while we still hold it.
+    pretium.set_price(e, 0, 1.0);
+    assert_eq!(pretium.telemetry().quote.calls, 1);
+    // A worker still quoting against the superseded snapshot.
+    snap.quote(&p);
+    snap.quote(&p);
+    drop(snap);
+    // Next epoch bump flushes the pending sink: nothing was lost.
+    pretium.set_price(e, 0, 2.0);
+    assert_eq!(pretium.telemetry().quote.calls, 3);
 }

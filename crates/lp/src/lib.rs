@@ -83,6 +83,6 @@ pub mod validate;
 pub use expr::{LinExpr, Term, Var};
 pub use lazy::{LazyOutcome, RowGen, RowRequest};
 pub use model::{Cmp, Model, RowId, Sense};
-pub use session::{Mutations, SessionStats, SolveOptions, SolverSession};
+pub use session::{Mutations, RestrictedOutcome, SessionStats, SolveOptions, SolverSession};
 pub use simplex::{Pricing, Restart, SimplexOptions};
 pub use solution::{Solution, SolveError, Status};

@@ -246,6 +246,16 @@ impl Model {
         self.vars[v.index()].obj
     }
 
+    /// Current right-hand side of a row. Note that [`Model::add_row`] moves
+    /// any constant inside the expression to the right-hand side, so this
+    /// returns the stored (normalized) value — the same one
+    /// [`Model::set_rhs`] replaces. Callers that refresh RHS values each
+    /// step can compare against this to skip no-op writes (a
+    /// [`crate::SolverSession`] treats any `set_rhs` as a pending mutation).
+    pub fn rhs(&self, r: RowId) -> f64 {
+        self.rows[r.index()].rhs
+    }
+
     /// Evaluate a row's left-hand side under an assignment.
     pub fn row_lhs(&self, r: RowId, values: &[f64]) -> f64 {
         self.rows[r.index()].terms.iter().map(|&(j, c)| c * values[j as usize]).sum()

@@ -45,7 +45,7 @@
 
 use crate::expr::{LinExpr, Var};
 use crate::lazy::{LazyOutcome, RowGen};
-use crate::model::{Cmp, Model, RowId};
+use crate::model::{Cmp, Model, RowId, Sense};
 use crate::simplex::{solve_model_session, Restart, SimplexOptions, WarmBasis};
 use crate::solution::{Solution, SolveError};
 
@@ -116,6 +116,12 @@ pub struct SessionStats {
     pub pricing_scans: u64,
     /// Iterations priced under the Bland's-rule anti-cycling fallback.
     pub bland_pivots: u64,
+    /// Solves answered from the cached solution without touching the
+    /// simplex (nothing mutated since the last certified optimum).
+    pub cache_hits: u64,
+    /// Restricted (frozen-block submodel) solves; see
+    /// [`SolverSession::solve_restricted`].
+    pub restricted: u64,
 }
 
 impl SessionStats {
@@ -149,6 +155,8 @@ impl SessionStats {
         self.iterations += other.iterations;
         self.pricing_scans += other.pricing_scans;
         self.bland_pivots += other.bland_pivots;
+        self.cache_hits += other.cache_hits;
+        self.restricted += other.restricted;
     }
 
     /// Labelled counter rows for table rendering (`(label, value)`), in a
@@ -162,9 +170,32 @@ impl SessionStats {
             ("iterations".into(), self.iterations.to_string()),
             ("pricing scans".into(), self.pricing_scans.to_string()),
             ("bland pivots".into(), self.bland_pivots.to_string()),
+            ("cache hits".into(), self.cache_hits.to_string()),
+            ("restricted solves".into(), self.restricted.to_string()),
             ("warm fraction".into(), format!("{:.3}", self.warm_fraction())),
         ]
     }
+}
+
+/// Result of a restricted (frozen-block) re-solve; see
+/// [`SolverSession::solve_restricted`].
+#[derive(Debug, Clone)]
+pub struct RestrictedOutcome {
+    /// Parent-shaped composite solution: frozen coordinates verbatim, free
+    /// coordinates from the submodel optimum, duals of dropped (all-frozen)
+    /// rows inherited from the previous solution and re-validated.
+    pub solution: Solution,
+    /// Whether the KKT certificate held — the composite is a proven optimum
+    /// of the full model. When false the composite is returned for
+    /// inspection but the session adopts nothing; fall back to a full solve.
+    pub certified: bool,
+    /// Largest certificate violation observed (frozen reduced-cost
+    /// improvement signal or dropped-row primal residual).
+    pub max_violation: f64,
+    /// Columns actually solved in the submodel.
+    pub sub_vars: usize,
+    /// Rows kept (with residual RHS) in the submodel.
+    pub sub_rows: usize,
 }
 
 /// A [`Model`] plus the factorized basis of its last solve.
@@ -184,6 +215,17 @@ pub struct SolverSession {
     /// were appended afterwards and are never referenced by the saved basis.
     solved_vars: usize,
     solved_rows: usize,
+    /// The most recent certified optimum of the current model state.
+    /// Served verbatim by [`SolverSession::solve`] when no mutation is
+    /// pending, and the reference point for [`SolverSession::fix_at_value`].
+    last_solution: Option<Solution>,
+    /// Terminal bases of recent [`SolverSession::solve_restricted`]
+    /// submodels, keyed by a hash of the parent dimensions and the frozen
+    /// column set (which together determine the submodel's structure).
+    /// Recurring freeze patterns — the same fault edge toggling, the same
+    /// block re-planned — then warm-start their submodel instead of
+    /// crashing a fresh basis. Small bounded LRU; misses just solve cold.
+    restricted_bases: Vec<(u64, WarmBasis)>,
 }
 
 // The parallel evaluation engine (`pretium-sim::par`) moves one session
@@ -208,6 +250,8 @@ impl SolverSession {
             last_restart: None,
             solved_vars: 0,
             solved_rows: 0,
+            last_solution: None,
+            restricted_bases: Vec::new(),
         }
     }
 
@@ -242,9 +286,21 @@ impl SolverSession {
         self.basis.is_some()
     }
 
-    /// Drop the saved basis; the next solve runs cold.
+    /// Drop the saved basis; the next solve runs cold. Also drops the
+    /// cached solution, so the next solve really does run the simplex.
     pub fn invalidate(&mut self) {
         self.basis = None;
+        self.last_solution = None;
+    }
+
+    /// The certified optimum of the current model state, if no mutation has
+    /// been recorded since it was computed.
+    pub fn cached_solution(&self) -> Option<&Solution> {
+        if self.pending.is_clean() {
+            self.last_solution.as_ref()
+        } else {
+            None
+        }
     }
 
     /// Mutable solver options of the wrapped model (does not invalidate the
@@ -308,6 +364,26 @@ impl SolverSession {
         self.model.set_bounds(v, lb, ub);
     }
 
+    /// Pin `v` to the single value `x` (bounds `[x, x]`), *without* marking
+    /// a pending mutation when the pin provably preserves the cached
+    /// optimum: if the cached solution already has `v = x` (bitwise) and
+    /// `x` lies inside the old bounds, fixing the variable there shrinks
+    /// the feasible set while keeping the incumbent feasible — the cached
+    /// primal/dual pair stays optimal (a fixed column's reduced cost is
+    /// unconstrained). This is what lets a schedule session freeze already-
+    /// executed timesteps at their planned values every step without
+    /// forcing an LP re-solve when nothing actually moved.
+    pub fn fix_at_value(&mut self, v: Var, x: f64) {
+        let (lb, ub) = self.model.bounds(v);
+        let already_pinned = lb == x && ub == x;
+        let matches_cached =
+            lb <= x && x <= ub && self.last_solution.as_ref().is_some_and(|s| s.value(v) == x);
+        if !(already_pinned || matches_cached) {
+            self.pending.bounds = true;
+        }
+        self.model.set_bounds(v, x, x);
+    }
+
     /// See [`Model::set_rhs`].
     pub fn set_rhs(&mut self, r: RowId, rhs: f64) {
         self.pending.rhs = true;
@@ -347,6 +423,15 @@ impl SolverSession {
     /// optimum of the current model (warm failures fall back to a cold
     /// solve internally).
     pub fn solve(&mut self, opts: &SolveOptions) -> Result<Solution, SolveError> {
+        // Nothing mutated since the last certified optimum: the cached
+        // solution *is* the answer — skip the simplex entirely. (The basis
+        // requirement makes `invalidate()` force a real cold solve.)
+        if !opts.force_cold && self.pending.is_clean() && self.basis.is_some() {
+            if let Some(cached) = &self.last_solution {
+                self.stats.cache_hits += 1;
+                return Ok(cached.clone());
+            }
+        }
         let simplex = opts.simplex.clone().unwrap_or_else(|| self.model.options().clone());
         let warm = if opts.force_cold { None } else { self.basis.as_ref() };
         let (solution, basis, restart) = solve_model_session(&self.model, &simplex, warm)?;
@@ -356,7 +441,325 @@ impl SolverSession {
         self.pending = Mutations::default();
         self.solved_vars = self.model.num_vars();
         self.solved_rows = self.model.num_rows();
+        self.last_solution = Some(solution.clone());
         Ok(solution)
+    }
+
+    /// Re-optimize only the columns *not* listed in `fixes`, holding every
+    /// listed variable frozen at the given value, without touching the
+    /// parent model, basis, or pending-mutation state.
+    ///
+    /// This is the block-decomposition primitive behind incremental SAM
+    /// re-optimization: the schedule LP is block-angular (per-request
+    /// schedule blocks coupled only through capacity and cost rows), so
+    /// after a localized change the caller freezes every unaffected block
+    /// at its current plan and re-solves just the affected columns against
+    /// *residual* rows — each kept row's RHS is reduced by the frozen
+    /// columns' contribution, and rows whose every column is frozen are
+    /// dropped entirely (checked for primal feasibility at the frozen
+    /// values instead).
+    ///
+    /// The extracted submodel is solved cold — it is small enough that a
+    /// fresh factorization costs less than re-factorizing the full parent
+    /// basis — and the result is assembled back into a parent-shaped
+    /// composite [`Solution`]: frozen coordinates verbatim, free
+    /// coordinates from the submodel optimum, duals of dropped rows
+    /// inherited from the previous solution (and re-validated), and frozen
+    /// columns' reduced costs recomputed against the composite duals
+    /// (`d_j = c_j − yᵀA_j`).
+    ///
+    /// The composite is then *certified* against the full model's KKT
+    /// conditions: every dropped row must be satisfied by the frozen
+    /// values (within the feasibility tolerance) and every frozen column's
+    /// reduced cost must not signal an improving move off its value
+    /// (within `tol`). When the certificate holds, the composite is a
+    /// proven optimum of the full model, and the session adopts it as its
+    /// cached solution (pending mutations are cleared, so an unchanged
+    /// follow-up [`SolverSession::solve`] is a cache hit). When it fails —
+    /// the localized change actually propagated into a frozen block — the
+    /// outcome reports `certified: false` with the composite untouched by
+    /// the session; callers fall back to a full (warm) solve. The saved
+    /// basis is never invalidated either way.
+    pub fn solve_restricted(
+        &mut self,
+        fixes: &[(Var, f64)],
+        tol: f64,
+        opts: &SolveOptions,
+    ) -> Result<RestrictedOutcome, SolveError> {
+        let simplex = opts.simplex.clone().unwrap_or_else(|| self.model.options().clone());
+        let feas_eps = simplex.feas_tol.max(tol);
+        let n = self.model.num_vars();
+        let mut fixed: Vec<Option<f64>> = vec![None; n];
+        for &(v, x) in fixes {
+            fixed[v.index()] = Some(x);
+        }
+
+        // Extract the submodel over the free columns.
+        let mut sub = Model::new(self.model.sense);
+        *sub.options_mut() = simplex;
+        let mut to_sub: Vec<Option<Var>> = vec![None; n];
+        let mut frozen_obj = self.model.obj_offset;
+        // Submodel vars and rows are unnamed: names only serve diagnostics
+        // on the parent model, and cloning a String per column is a
+        // measurable share of the extraction cost on the hot path.
+        for (j, d) in self.model.vars.iter().enumerate() {
+            match fixed[j] {
+                Some(x) => frozen_obj += d.obj * x,
+                None => to_sub[j] = Some(sub.add_var("", d.lb, d.ub, d.obj)),
+            }
+        }
+        sub.add_obj_offset(frozen_obj);
+
+        // Kept rows get residual RHS; all-frozen rows are dropped from the
+        // submodel (recorded with their frozen left-hand side) and must
+        // hold primally at the frozen values.
+        let mut kept: Vec<usize> = Vec::new();
+        let mut dropped: Vec<(usize, f64)> = Vec::new();
+        let mut primal_violation: f64 = 0.0;
+        for (i, row) in self.model.rows.iter().enumerate() {
+            let mut frozen_lhs = 0.0;
+            let mut free = LinExpr::new();
+            for &(j, c) in &row.terms {
+                match fixed[j as usize] {
+                    Some(x) => frozen_lhs += c * x,
+                    None => free.add_term(c, to_sub[j as usize].expect("free var mapped")),
+                }
+            }
+            if free.is_empty() {
+                let viol = match row.cmp {
+                    Cmp::Le => frozen_lhs - row.rhs,
+                    Cmp::Ge => row.rhs - frozen_lhs,
+                    Cmp::Eq => (frozen_lhs - row.rhs).abs(),
+                };
+                primal_violation = primal_violation.max(viol);
+                dropped.push((i, frozen_lhs));
+            } else {
+                sub.add_row("", free, row.cmp, row.rhs - frozen_lhs);
+                kept.push(i);
+            }
+        }
+        let (sub_vars, sub_rows) = (sub.num_vars(), sub.num_rows());
+        // The submodel's structure is a pure function of the parent's
+        // dimensions and the frozen column set, so recurring freeze
+        // patterns (a fault edge toggling, the same block re-planned) can
+        // warm-start from the terminal basis of their previous submodel —
+        // typically a handful of dual pivots instead of a cold crash.
+        fn fnv(h: u64, x: u64) -> u64 {
+            (h ^ x).wrapping_mul(0x100_0000_01b3)
+        }
+        let mut key = fnv(0xcbf2_9ce4_8422_2325, n as u64);
+        key = fnv(key, self.model.num_rows() as u64);
+        for (j, f) in fixed.iter().enumerate() {
+            if f.is_some() {
+                key = fnv(key, j as u64);
+            }
+        }
+        let warm = self.restricted_bases.iter().find(|(k, _)| *k == key).map(|(_, b)| b);
+        let (sub_sol, sub_basis, _restart) = solve_model_session(&sub, sub.options(), warm)?;
+        if let Some(slot) = self.restricted_bases.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = sub_basis;
+        } else {
+            if self.restricted_bases.len() >= 8 {
+                self.restricted_bases.remove(0);
+            }
+            self.restricted_bases.push((key, sub_basis));
+        }
+        self.stats.restricted += 1;
+        self.stats.iterations += sub_sol.iterations();
+        self.stats.pricing_scans += sub_sol.pricing_scans();
+        self.stats.bland_pivots += sub_sol.bland_pivots();
+
+        // Assemble the parent-shaped composite.
+        let mut values = vec![0.0; n];
+        let mut reduced_costs = vec![0.0; n];
+        for j in 0..n {
+            match fixed[j] {
+                Some(x) => {
+                    let d = &self.model.vars[j];
+                    values[j] = x;
+                    reduced_costs[j] = d.obj;
+                    primal_violation = primal_violation.max(d.lb - x).max(x - d.ub);
+                }
+                None => {
+                    let sv = to_sub[j].expect("free var mapped");
+                    values[j] = sub_sol.values[sv.index()];
+                    reduced_costs[j] = sub_sol.reduced_costs[sv.index()];
+                }
+            }
+        }
+        let mut duals = vec![0.0; self.model.num_rows()];
+        for (si, &pi) in kept.iter().enumerate() {
+            let y = sub_sol.duals[si];
+            duals[pi] = y;
+            if y != 0.0 {
+                for &(j, c) in &self.model.rows[pi].terms {
+                    if fixed[j as usize].is_some() {
+                        reduced_costs[j as usize] -= y * c;
+                    }
+                }
+            }
+        }
+
+        // Dropped rows carry no dual information from the sub-solve, but
+        // frozen columns at an interior optimum need their private rows'
+        // duals for their reduced costs to certify (a job at its demand
+        // limit is supported by the demand row's dual). Complete the dual
+        // vector heuristically — soundness comes from the certificate
+        // below, which validates whatever this produces:
+        //  1. inherit each dropped row's dual from the previous solution,
+        //     projected onto the valid sign for the row's direction and
+        //     zeroed where complementary slackness demands (slack row ⇒
+        //     dual 0);
+        //  2. only when the certificate fails at inherited duals,
+        //     refinement sweeps re-aim the dual of each *adjustable*
+        //     binding row so its first interior frozen column prices to
+        //     zero — the private-support-shift case (a coupling row
+        //     unbinding moves a column's support onto its private row)
+        //     that pure inheritance cannot certify. Dropped rows are
+        //     always adjustable; a kept row is adjustable when every free
+        //     column in it sits at its lower bound — the sub-solve then
+        //     pinned its dual only up to degeneracy (a shared capacity row
+        //     the affected blocks place no flow on reads as slack-free to
+        //     the submodel even though the frozen flow binds it), and
+        //     moving the dual cannot un-price a basic free column. The
+        //     certificate is re-run after the sweeps, so a bad re-aim
+        //     fails closed; the common case (inherited duals already
+        //     certify) skips the sweeps and their row scans entirely.
+        let sense = self.model.sense;
+        let project = |y: f64, cmp: Cmp| match (sense, cmp) {
+            (_, Cmp::Eq) => y,
+            (Sense::Maximize, Cmp::Le) | (Sense::Minimize, Cmp::Ge) => y.max(0.0),
+            (Sense::Maximize, Cmp::Ge) | (Sense::Minimize, Cmp::Le) => y.min(0.0),
+        };
+        let interior = |j: usize, x: f64| {
+            let d = &self.model.vars[j];
+            x - d.lb > feas_eps && d.ub - x > feas_eps
+        };
+        for &(i, lhs) in &dropped {
+            let row = &self.model.rows[i];
+            let mut y =
+                self.last_solution.as_ref().and_then(|s| s.duals.get(i).copied()).unwrap_or(0.0);
+            if row.cmp != Cmp::Eq && (lhs - row.rhs).abs() > feas_eps {
+                y = 0.0;
+            }
+            y = project(y, row.cmp);
+            duals[i] = y;
+            if y != 0.0 {
+                for &(j, c) in &row.terms {
+                    reduced_costs[j as usize] -= y * c;
+                }
+            }
+        }
+        // Certificate: no column — frozen at its value or free at the
+        // sub-solve's optimum — may have an improving move its own bounds
+        // would permit. Free columns were optimal against the *submodel*
+        // duals; re-checking them here is what keeps the kept-row
+        // re-aiming below sound.
+        let rc_certificate = |values: &[f64], reduced_costs: &[f64]| -> f64 {
+            let mut violation: f64 = 0.0;
+            for j in 0..n {
+                let x = values[j];
+                let (lb, ub) = (self.model.vars[j].lb, self.model.vars[j].ub);
+                let at_lb = x - lb <= feas_eps;
+                let at_ub = ub - x <= feas_eps;
+                let d = reduced_costs[j];
+                // Improvement direction depends on the sense: for Maximize
+                // a positive reduced cost rewards raising x, for Minimize a
+                // negative one does; the mirrored term covers lowering x.
+                let (up, down) = match sense {
+                    Sense::Maximize => (d, -d),
+                    Sense::Minimize => (-d, d),
+                };
+                if !at_ub {
+                    violation = violation.max(up);
+                }
+                if !at_lb {
+                    violation = violation.max(down);
+                }
+            }
+            violation
+        };
+        let mut rc_violation = rc_certificate(&values, &reduced_costs);
+        if rc_violation > tol {
+            let mut adjustable: Vec<usize> = Vec::new();
+            for &(i, lhs) in &dropped {
+                let row = &self.model.rows[i];
+                if row.cmp == Cmp::Eq || (lhs - row.rhs).abs() <= feas_eps {
+                    adjustable.push(i);
+                }
+            }
+            for &pi in &kept {
+                let row = &self.model.rows[pi];
+                let mut lhs = 0.0;
+                let mut has_frozen = false;
+                let mut free_at_lb = true;
+                for &(j, c) in &row.terms {
+                    let x = values[j as usize];
+                    lhs += c * x;
+                    if fixed[j as usize].is_some() {
+                        has_frozen = true;
+                    } else if x - self.model.vars[j as usize].lb > feas_eps {
+                        free_at_lb = false;
+                    }
+                }
+                if has_frozen
+                    && free_at_lb
+                    && (row.cmp == Cmp::Eq || (lhs - row.rhs).abs() <= feas_eps)
+                {
+                    adjustable.push(pi);
+                }
+            }
+            for _ in 0..3 {
+                for &i in &adjustable {
+                    let row = &self.model.rows[i];
+                    let Some((j0, a0)) = row.terms.iter().find_map(|&(j, c)| {
+                        (c != 0.0
+                            && fixed[j as usize].is_some()
+                            && interior(j as usize, values[j as usize]))
+                        .then_some((j as usize, c))
+                    }) else {
+                        continue;
+                    };
+                    let new_y = project(duals[i] + reduced_costs[j0] / a0, row.cmp);
+                    let delta = new_y - duals[i];
+                    if delta != 0.0 {
+                        duals[i] = new_y;
+                        for &(j, c) in &row.terms {
+                            reduced_costs[j as usize] -= delta * c;
+                        }
+                    }
+                }
+            }
+            rc_violation = rc_certificate(&values, &reduced_costs);
+        }
+        let certified = primal_violation <= feas_eps && rc_violation <= tol;
+        let solution = Solution {
+            status: sub_sol.status,
+            objective: sub_sol.objective,
+            values,
+            duals,
+            reduced_costs,
+            iterations: sub_sol.iterations,
+            pricing_scans: sub_sol.pricing_scans,
+            bland_pivots: sub_sol.bland_pivots,
+        };
+        if certified {
+            // The composite is a proven optimum of the *current* model
+            // state: adopt it exactly like a full solve would, minus the
+            // basis snapshot (the saved parent basis stays warm-start
+            // valid for whatever full solve comes next).
+            self.last_solution = Some(solution.clone());
+            self.pending = Mutations::default();
+            self.solved_vars = self.model.num_vars();
+            self.solved_rows = self.model.num_rows();
+        }
+        Ok(RestrictedOutcome {
+            solution,
+            certified,
+            max_violation: primal_violation.max(rc_violation),
+            sub_vars,
+            sub_rows,
+        })
     }
 
     /// Solve with lazy row generation: repeatedly solve, ask `gen` for rows
@@ -553,6 +956,147 @@ mod tests {
         s.set_bounds(y, 0.0, 4.0);
         let err = s.solve(&SolveOptions::default()).unwrap_err();
         assert!(matches!(err, SolveError::Infeasible { .. }), "{err}");
+    }
+
+    #[test]
+    fn unchanged_resolve_is_a_cache_hit() {
+        let (mut s, _x, _y, r1, _r2) = toy();
+        let first = s.solve(&SolveOptions::default()).unwrap();
+        let again = s.solve(&SolveOptions::default()).unwrap();
+        // Bit-for-bit the same answer, zero additional simplex work.
+        assert_eq!(first.values(), again.values());
+        assert_eq!(first.duals(), again.duals());
+        assert_eq!(s.stats().solves, 1);
+        assert_eq!(s.stats().cache_hits, 1);
+        // A mutation ends the cache's validity.
+        s.set_rhs(r1, 5.0);
+        s.solve(&SolveOptions::default()).unwrap();
+        assert_eq!(s.stats().solves, 2);
+        assert_eq!(s.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn force_cold_bypasses_cache() {
+        let (mut s, _x, _y, _r1, _r2) = toy();
+        s.solve(&SolveOptions::default()).unwrap();
+        let opts = SolveOptions { force_cold: true, ..Default::default() };
+        s.solve(&opts).unwrap();
+        assert_eq!(s.stats().cache_hits, 0);
+        assert_eq!(s.stats().cold_starts, 2);
+    }
+
+    #[test]
+    fn fix_at_cached_value_preserves_cache() {
+        let (mut s, x, y, _r1, _r2) = toy();
+        let sol = s.solve(&SolveOptions::default()).unwrap();
+        // Pinning variables at their optimal values provably changes
+        // nothing — the next solve is a pure cache hit.
+        s.fix_at_value(x, sol.value(x));
+        s.fix_at_value(y, sol.value(y));
+        assert!(s.pending_mutations().is_clean());
+        s.solve(&SolveOptions::default()).unwrap();
+        assert_eq!(s.stats().cache_hits, 1);
+        // Pinning off the cached value is a real bound mutation.
+        s.fix_at_value(x, 1.0);
+        assert!(s.pending_mutations().bounds);
+        let sol2 = s.solve(&SolveOptions::default()).unwrap();
+        assert!((sol2.value(x) - 1.0).abs() < 1e-9);
+        assert_eq!(s.stats().cache_hits, 1);
+    }
+
+    /// Two independent blocks coupled by one shared capacity row — the
+    /// miniature of the SAM block-angular structure. Freezing the untouched
+    /// block and re-solving the other against the residual must certify and
+    /// agree with the full re-solve.
+    fn coupled() -> (SolverSession, Var, Var, RowId, RowId, RowId) {
+        // max 3a + 2b  s.t.  a <= 4 (da), b <= 6 (db), a + b <= 8 (shared)
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_nonneg("a", 3.0);
+        let b = m.add_nonneg("b", 2.0);
+        let da = m.add_row("da", 1.0 * a, Cmp::Le, 4.0);
+        let db = m.add_row("db", 1.0 * b, Cmp::Le, 6.0);
+        let shared = m.add_row("shared", a + b, Cmp::Le, 8.0);
+        (SolverSession::new(m), a, b, da, db, shared)
+    }
+
+    #[test]
+    fn restricted_solve_certifies_and_matches_full() {
+        let (mut s, a, b, _da, db, _shared) = coupled();
+        let sol = s.solve(&SolveOptions::default()).unwrap();
+        // Optimum: a = 4 (da binding), b = 4 (shared binding).
+        assert!((sol.value(a) - 4.0).abs() < 1e-7);
+        assert!((sol.value(b) - 4.0).abs() < 1e-7);
+
+        // Localized change in b's block: tighten db below b's current use.
+        s.set_rhs(db, 3.0);
+        let frozen_a = sol.value(a);
+        let out = s.solve_restricted(&[(a, frozen_a)], 1e-7, &SolveOptions::default()).unwrap();
+        assert!(out.certified, "violation {}", out.max_violation);
+        assert_eq!(out.sub_vars, 1);
+        // a's block froze bitwise; b re-optimized against the residual.
+        assert_eq!(out.solution.value(a), frozen_a);
+        assert!((out.solution.value(b) - 3.0).abs() < 1e-7);
+        // Agrees with the full re-solve of the same mutated model.
+        let full = s.model().solve().unwrap();
+        assert!((out.solution.objective() - full.objective()).abs() < 1e-7);
+        // A certified restricted solve is adopted: nothing pending, and an
+        // unchanged follow-up solve is answered from cache.
+        assert!(s.pending_mutations().is_clean());
+        let next = s.solve(&SolveOptions::default()).unwrap();
+        assert_eq!(next.values(), out.solution.values());
+        assert_eq!(s.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn restricted_solve_completes_dropped_row_duals() {
+        // Freeze a at its optimum where the *dropped* row `da` is what
+        // supports a's reduced cost (rc_a = 3 − y_da − y_shared). The
+        // localized change unbinds the shared row, shifting a's support
+        // entirely onto its private row — the dual-completion sweep must
+        // re-aim y_da or the certificate would spuriously fail on a
+        // perfectly optimal freeze.
+        let (mut s, a, _b, da, db, _shared) = coupled();
+        let sol = s.solve(&SolveOptions::default()).unwrap();
+        s.set_rhs(db, 3.5);
+        let out = s.solve_restricted(&[(a, sol.value(a))], 1e-7, &SolveOptions::default()).unwrap();
+        assert!(out.certified, "violation {}", out.max_violation);
+        assert!(out.solution.dual(da) > 0.0, "inherited dual lost");
+        // The frozen column's recomputed reduced cost matches what a full
+        // solve reports for the same model (sign-convention pin).
+        let full = s.model().solve().unwrap();
+        assert!(
+            (out.solution.reduced_cost(a) - full.reduced_cost(a)).abs() < 1e-7,
+            "rc {} vs full {}",
+            out.solution.reduced_cost(a),
+            full.reduced_cost(a)
+        );
+    }
+
+    #[test]
+    fn restricted_solve_detects_stale_freeze() {
+        let (mut s, a, b, _da, _db, _shared) = coupled();
+        s.solve(&SolveOptions::default()).unwrap();
+        // Freeze a somewhere clearly suboptimal (interior, rc > 0): the
+        // certificate must refuse, and the session must adopt nothing.
+        let pending_before = s.pending_mutations();
+        let out = s.solve_restricted(&[(a, 1.0)], 1e-7, &SolveOptions::default()).unwrap();
+        assert!(!out.certified);
+        assert!(out.max_violation > 1e-3, "violation {}", out.max_violation);
+        assert_eq!(s.pending_mutations(), pending_before);
+        let _ = b;
+    }
+
+    #[test]
+    fn restricted_solve_flags_infeasible_frozen_rows() {
+        let (mut s, a, b, da, _db, _shared) = coupled();
+        s.solve(&SolveOptions::default()).unwrap();
+        // Tighten a's private row below its frozen value: the dropped row
+        // is primally violated, so the composite cannot certify.
+        s.set_rhs(da, 2.0);
+        let out = s.solve_restricted(&[(a, 4.0)], 1e-7, &SolveOptions::default()).unwrap();
+        assert!(!out.certified);
+        assert!(out.max_violation >= 2.0 - 1e-9);
+        let _ = b;
     }
 
     #[test]

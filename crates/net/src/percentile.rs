@@ -125,6 +125,32 @@ mod tests {
     }
 
     #[test]
+    fn percentile_extreme_fractions() {
+        // p = 0.0: rank ceil(0) = 0 clamps to 1 — the minimum, never an
+        // out-of-bounds rank-0 read.
+        let v: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        // p = 1.0: rank n exactly — the maximum, never past the end.
+        assert_eq!(percentile(&v, 1.0), 10.0);
+        // p just under 1.0: ceil keeps the rank at n (not n+1 via a float
+        // round-up, not n-1 via truncation).
+        assert_eq!(percentile(&v, 1.0 - 1e-12), 10.0);
+        assert_eq!(percentile(&v, 1.0 - f64::EPSILON), 10.0);
+        // p just above 0.0 rounds up to rank 1.
+        assert_eq!(percentile(&v, 1e-12), 1.0);
+        // All four extremes on a single-sample series hit the same element.
+        for p in [0.0, 1e-12, 1.0 - 1e-12, 1.0] {
+            assert_eq!(percentile(&[42.0], p), 42.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile fraction")]
+    fn percentile_rejects_out_of_range_fraction() {
+        percentile(&[1.0], 1.0 + 1e-9);
+    }
+
+    #[test]
     fn percentile_unsorted_input() {
         assert_eq!(percentile(&[5.0, 1.0, 3.0, 2.0, 4.0], 0.6), 3.0);
     }

@@ -22,9 +22,12 @@ use rand::rngs::StdRng;
 use rand::{derive_seed, Rng, SeedableRng};
 
 /// Request ids at or above this offset are surge traffic injected by a
-/// fault plan, not part of the scenario's request stream (scenario ids are
-/// dense from 0, far below this).
-pub const SURGE_ID_OFFSET: u32 = 1_000_000;
+/// fault plan, not part of the scenario's request stream. Scenario ids are
+/// dense from 0 and assigned as `u32`-range indices, so parking the surge
+/// namespace past `u32::MAX` keeps the two disjoint even at (and far
+/// beyond) the ~1M-request paper-scale traces; [`FaultPlan::apply_step`]
+/// debug-asserts the invariant against the live system's contracts.
+pub const SURGE_ID_OFFSET: u64 = 1 << 32;
 
 /// One scheduled adverse event.
 #[derive(Debug, Clone, PartialEq)]
@@ -222,6 +225,11 @@ impl FaultPlan {
 
     /// Convenience: generate against a scenario's own net/grid/horizon.
     pub fn for_scenario(scenario: &Scenario, cfg: &FaultPlanConfig) -> Self {
+        debug_assert!(
+            scenario.requests.iter().all(|r| r.id.0 < SURGE_ID_OFFSET),
+            "scenario request ids must stay below SURGE_ID_OFFSET so surge \
+             traffic cannot collide with them"
+        );
         Self::generate(&scenario.net, &scenario.grid, scenario.horizon, cfg)
     }
 
@@ -235,6 +243,13 @@ impl FaultPlan {
     /// are *returned* by [`FaultPlan::surges_at`] instead — admission is
     /// the runner's job.
     pub fn apply_step(&self, system: &mut Pretium, now: Timestep) {
+        debug_assert!(
+            self.surges_at(now).all(|r| {
+                r.id.0 >= SURGE_ID_OFFSET && system.contracts().iter().all(|c| c.params.id != r.id)
+            }),
+            "surge ids must sit in the reserved namespace above SURGE_ID_OFFSET \
+             and must not collide with an already-booked contract"
+        );
         for ev in &self.events {
             match *ev {
                 FaultEvent::LinkFailure { edge, at, until } => {

@@ -58,7 +58,7 @@ impl Deviation {
                 let mut b = r.clone();
                 a.demand /= 2.0;
                 b.demand -= a.demand;
-                b.id = RequestId(u32::MAX); // re-assigned below
+                b.id = RequestId(u64::MAX); // re-assigned below
                 Some(vec![a, b])
             }
         }
@@ -169,7 +169,7 @@ pub fn analyze_deviations(
                 }
             }
             for (i, r) in requests.iter_mut().enumerate() {
-                r.id = RequestId(i as u32);
+                r.id = RequestId(i as u64);
             }
             let modified = Scenario { requests, ..scenario.clone() };
             let run = run_pretium(&modified, cfg.clone(), Variant::Full)?;

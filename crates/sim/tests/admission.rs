@@ -102,7 +102,7 @@ fn sequencer_admission_is_bit_identical_across_ra_jobs() {
         assert_eq!(run.contract_of_request, base.contract_of_request);
         // The contract stream itself: same ids in the same order with the
         // same bookings (surge contracts included).
-        let stream = |r: &PretiumRun| -> Vec<(u32, f64, f64)> {
+        let stream = |r: &PretiumRun| -> Vec<(u64, f64, f64)> {
             r.system.contracts().iter().map(|c| (c.params.id.0, c.purchased, c.payment)).collect()
         };
         assert_eq!(stream(&run), stream(&base), "contract stream diverged at ra_jobs={jobs}");

@@ -12,8 +12,13 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Identifier of a request, dense from 0 in arrival order.
+///
+/// Wide on purpose: synthetic traffic (fault-injected surges) claims ids
+/// above [`u32::MAX`], so organic ids can grow to the paper-scale ~1M-plus
+/// range — and far beyond — with no risk of colliding with the surge
+/// namespace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct RequestId(pub u32);
+pub struct RequestId(pub u64);
 
 impl RequestId {
     #[inline]
@@ -178,7 +183,7 @@ pub fn generate_requests(
     // Arrival order defines request ids.
     out.sort_by_key(|r| (r.arrival, r.src, r.dst));
     for (i, r) in out.iter_mut().enumerate() {
-        r.id = RequestId(i as u32);
+        r.id = RequestId(i as u64);
     }
     out
 }

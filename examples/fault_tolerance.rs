@@ -33,7 +33,7 @@ fn main() {
             }
         };
         let params = RequestParams {
-            id: RequestId(i),
+            id: RequestId(u64::from(i)),
             src,
             dst,
             demand: rng.gen_range(5.0..30.0),

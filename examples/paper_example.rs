@@ -38,7 +38,7 @@ fn run_with_prices(label: &str, prices: impl Fn(usize, usize) -> f64) -> f64 {
     println!("{label}:");
     for (i, &(name, src, dst, value, demand, start, deadline)) in REQUESTS.iter().enumerate() {
         let params = RequestParams {
-            id: RequestId(i as u32),
+            id: RequestId(i as u64),
             src: nodes[src],
             dst: nodes[dst],
             demand,
@@ -68,7 +68,7 @@ fn no_price_bytes_max() -> f64 {
         .iter()
         .enumerate()
         .map(|(i, &(_, src, dst, value, demand, start, deadline))| pretium::workload::Request {
-            id: RequestId(i as u32),
+            id: RequestId(i as u64),
             src: nodes[src],
             dst: nodes[dst],
             demand,

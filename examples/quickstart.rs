@@ -42,7 +42,7 @@ fn main() {
     ];
     for (i, &(src, dst, demand, value, start, deadline)) in asks.iter().enumerate() {
         let params = RequestParams {
-            id: RequestId(i as u32),
+            id: RequestId(i as u64),
             src: pretium::net::NodeId(src),
             dst: pretium::net::NodeId(dst),
             demand,
