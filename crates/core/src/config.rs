@@ -52,6 +52,55 @@ impl IncrementalSam {
     }
 }
 
+/// Column-generation mode for the SAM scheduling LP (DESIGN.md §17).
+///
+/// `Off` materializes every `(path, timestep)` flow variable when a job is
+/// added — the reference behavior every recorded experiment uses. `On`
+/// builds a *restricted master*: each job seeds only its shortest
+/// `seed_paths` paths, and absent columns are appended only when the
+/// restricted optimum's duals give them favorable reduced cost. Columns
+/// generated in one SAM step persist (warm) into the next.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ColumnGen {
+    /// Materialize the full `(path, timestep)` column universe up front.
+    #[default]
+    Off,
+    /// Lazy column generation over the Yen k-shortest-path set.
+    On {
+        /// Pricing-round budget per SAM step; `0` selects 50. When the
+        /// budget runs out, the restricted-master optimum is adopted as is
+        /// (budget-truncated rather than certified over the universe).
+        max_rounds: u32,
+        /// Paths seeded per job (shortest first); `0` selects 1.
+        seed_paths: usize,
+    },
+}
+
+impl ColumnGen {
+    /// `On` with the default budget and seed width.
+    pub fn on() -> Self {
+        ColumnGen::On { max_rounds: 0, seed_paths: 0 }
+    }
+
+    /// The pricing-round budget this mode grants per SAM step.
+    pub fn max_rounds(self) -> u32 {
+        match self {
+            ColumnGen::Off => 0,
+            ColumnGen::On { max_rounds: 0, .. } => 50,
+            ColumnGen::On { max_rounds, .. } => max_rounds,
+        }
+    }
+
+    /// Paths seeded per job (shortest first).
+    pub fn seed_paths(self) -> usize {
+        match self {
+            ColumnGen::Off => usize::MAX,
+            ColumnGen::On { seed_paths: 0, .. } => 1,
+            ColumnGen::On { seed_paths, .. } => seed_paths,
+        }
+    }
+}
+
 /// All tunables of a Pretium instance. Defaults follow the paper where it
 /// states values, and DESIGN.md §8 where it does not.
 #[derive(Debug, Clone)]
@@ -107,6 +156,11 @@ pub struct PretiumConfig {
     /// the PR-5 repricing guard cadence). 0 disables the cadence (certify
     /// only).
     pub sam_full_every: usize,
+    /// Column generation for the SAM scheduling LP (DESIGN.md §17). Off by
+    /// default: full materialization is the reference behavior, and every
+    /// recorded experiment uses it unless stated. PC and the offline
+    /// baselines always solve fully materialized regardless of this knob.
+    pub colgen: ColumnGen,
 }
 
 impl Default for PretiumConfig {
@@ -129,6 +183,7 @@ impl Default for PretiumConfig {
             pricing: Pricing::default(),
             incremental_sam: IncrementalSam::Off,
             sam_full_every: 16,
+            colgen: ColumnGen::Off,
         }
     }
 }
@@ -154,6 +209,13 @@ mod tests {
         assert_eq!(c.sam_full_every, 16);
         assert_eq!(IncrementalSam::Certified { tol: 1e-6 }.tol(), 1e-6);
         assert_eq!(IncrementalSam::Exact.tol(), 1e-7);
+        // Colgen is opt-in; On defaults to 50 pricing rounds and a
+        // single-path seed.
+        assert_eq!(c.colgen, ColumnGen::Off);
+        assert_eq!(ColumnGen::on().max_rounds(), 50);
+        assert_eq!(ColumnGen::on().seed_paths(), 1);
+        assert_eq!(ColumnGen::On { max_rounds: 7, seed_paths: 2 }.max_rounds(), 7);
+        assert_eq!(ColumnGen::On { max_rounds: 7, seed_paths: 2 }.seed_paths(), 2);
     }
 
     #[test]

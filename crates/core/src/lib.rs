@@ -49,7 +49,7 @@ pub mod topk;
 
 pub use admission::{AdmissionSnapshot, QuoteTicket, Sequencer};
 pub use audit::{AuditContext, AuditPoint, Auditor, Invariant, Violation};
-pub use config::{PretiumConfig, ReferenceWindow};
+pub use config::{ColumnGen, PretiumConfig, ReferenceWindow};
 pub use contract::{Contract, ContractId, RequestParams};
 pub use degradation::{DegradationKind, DegradationPolicy, LedgerEntry, ViolationLedger};
 pub use menu::{build_menu, PriceMenu};

@@ -498,7 +498,13 @@ impl Pretium {
                 topk: self.cfg.topk,
                 cost_scale: self.cfg.cost_scale,
             };
-            SamCarry::new(ScheduleSession::new(&problem), active.clone(), window)
+            // SAM alone runs the restricted master when colgen is on; PC
+            // and the offline baselines always solve fully materialized.
+            SamCarry::new(
+                ScheduleSession::with_colgen(&problem, self.cfg.colgen),
+                active.clone(),
+                window,
+            )
         };
         // Freeze the steps executed since the last run, then append
         // contracts accepted in the meantime (with their remaining
@@ -731,6 +737,9 @@ impl Pretium {
         let lp_after = carry.sess.lp_stats();
         self.telemetry.lp_iterations += lp_after.iterations - lp_before.iterations;
         self.telemetry.lp_pricing_scans += lp_after.pricing_scans - lp_before.pricing_scans;
+        self.telemetry.lp_columns_generated +=
+            lp_after.columns_generated - lp_before.columns_generated;
+        self.telemetry.lp_colgen_rounds += lp_after.colgen_rounds - lp_before.colgen_rounds;
         // The installed plans now reflect every capacity change reported so
         // far; start accumulating touched edges for the next step.
         self.sam_touched = Some(HashSet::default());

@@ -198,6 +198,11 @@ pub struct Telemetry {
     /// Pricing work behind those iterations: columns examined by entering
     /// selection plus columns touched by incremental pivot-row updates.
     pub lp_pricing_scans: u64,
+    /// Flow columns the SAM restricted master generated lazily
+    /// ([`crate::config::ColumnGen::On`]; 0 under full materialization).
+    pub lp_columns_generated: u64,
+    /// Pricing rounds that appended at least one generated column.
+    pub lp_colgen_rounds: u64,
 }
 
 impl Telemetry {
@@ -237,6 +242,8 @@ impl Telemetry {
             ("sam localized fallbacks".into(), self.sam_localized_fallbacks.to_string()),
             ("lp iterations".into(), self.lp_iterations.to_string()),
             ("lp pricing scans".into(), self.lp_pricing_scans.to_string()),
+            ("lp columns generated".into(), self.lp_columns_generated.to_string()),
+            ("lp colgen rounds".into(), self.lp_colgen_rounds.to_string()),
         ]
     }
 }
@@ -299,8 +306,10 @@ mod tests {
     fn rows_cover_every_counter() {
         let t = Telemetry::default();
         let rows = t.rows();
-        assert_eq!(rows.len(), 25);
+        assert_eq!(rows.len(), 27);
         assert!(rows.iter().any(|(k, _)| k == "sam localized"));
+        assert!(rows.iter().any(|(k, _)| k == "lp columns generated"));
+        assert!(rows.iter().any(|(k, _)| k == "lp colgen rounds"));
         assert!(rows.iter().any(|(k, _)| k == "sam localized fallbacks"));
         assert!(rows.iter().any(|(k, _)| k.starts_with("run_sam")));
         assert!(rows.iter().any(|(k, _)| k == "quotes requoted"));

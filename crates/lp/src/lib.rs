@@ -27,11 +27,17 @@
 //!   with a cyclic candidate list so a pivot prices O(section + candidates)
 //!   columns instead of O(n). A Bland's-rule anti-cycling fallback guards
 //!   every strategy.
-//! * [`lazy`] — violated-row generation: solve with a subset of rows and
-//!   add capacity rows only when a tentative optimum violates them. The
-//!   schedule LPs in Pretium have `|E|·T` capacity rows of which only a few
-//!   percent ever bind; this keeps basis sizes small. Use
-//!   [`SolverSession::solve_lazy`] so each generation round warm-starts.
+//! * [`lazy`] — symmetric generation oracles. A [`RowGen`] separates rows a
+//!   tentative optimum violates (the schedule LPs have `|E|·T` capacity
+//!   rows of which only a few percent ever bind); a [`ColGen`] prices
+//!   absent columns against the restricted master's duals and returns those
+//!   with favorable reduced cost (only a few percent of `(path, timestep)`
+//!   flow columns ever carry flow at paper scale). Rows and columns grow
+//!   against the same session in one loop —
+//!   [`SolverSession::solve_gen`] runs both oracles,
+//!   [`SolverSession::solve_lazy`] / [`SolverSession::solve_colgen`] are
+//!   the one-sided wrappers — and every generation round warm-starts from
+//!   the saved basis. All three return the shared [`GenOutcome`] shape.
 //! * [`validate`] — independent optimality checks (primal feasibility,
 //!   dual feasibility, complementary slackness) used heavily in tests.
 //!
@@ -81,7 +87,7 @@ pub mod solution;
 pub mod validate;
 
 pub use expr::{LinExpr, Term, Var};
-pub use lazy::{LazyOutcome, RowGen, RowRequest};
+pub use lazy::{ColGen, ColRequest, GenOutcome, NoGen, RowGen, RowRequest};
 pub use model::{Cmp, Model, RowId, Sense};
 pub use session::{Mutations, RestrictedOutcome, SessionStats, SolveOptions, SolverSession};
 pub use simplex::{Pricing, Restart, SimplexOptions};

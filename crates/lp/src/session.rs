@@ -44,10 +44,19 @@
 //! ```
 
 use crate::expr::{LinExpr, Var};
-use crate::lazy::{LazyOutcome, RowGen};
+use crate::lazy::{ColGen, ColRequest, GenOutcome, NoGen, RowGen, RowRequest};
 use crate::model::{Cmp, Model, RowId, Sense};
 use crate::simplex::{solve_model_session, Restart, SimplexOptions, WarmBasis};
 use crate::solution::{Solution, SolveError};
+
+/// Default round cap for the generation loops ([`SolverSession::solve_gen`]
+/// and its one-sided wrappers) when [`SolveOptions::max_rounds`] is 0.
+pub const DEFAULT_MAX_ROUNDS: u32 = 50;
+
+/// Default capacity of the freeze-pattern-keyed warm-basis LRU used by
+/// [`SolverSession::solve_restricted`] when
+/// [`SolveOptions::restricted_basis_cache`] is 0.
+pub const DEFAULT_RESTRICTED_BASIS_CACHE: usize = 8;
 
 /// Options for one [`SolverSession::solve`] call.
 #[derive(Debug, Clone, Default)]
@@ -56,9 +65,18 @@ pub struct SolveOptions {
     pub simplex: Option<SimplexOptions>,
     /// Discard the saved basis and solve from scratch.
     pub force_cold: bool,
-    /// Round cap for [`SolverSession::solve_lazy`]; `0` selects the default
-    /// of 50 rounds.
+    /// Round cap for [`SolverSession::solve_gen`] /
+    /// [`SolverSession::solve_lazy`] / [`SolverSession::solve_colgen`];
+    /// `0` selects [`DEFAULT_MAX_ROUNDS`].
     pub max_rounds: u32,
+    /// Capacity of [`SolverSession::solve_restricted`]'s freeze-pattern
+    /// warm-basis LRU; `0` selects [`DEFAULT_RESTRICTED_BASIS_CACHE`].
+    pub restricted_basis_cache: usize,
+    /// Eta updates a basis factorization accumulates before
+    /// refactorizing; `0` inherits `refactor_every` from the effective
+    /// simplex options (the default 96), a nonzero value overrides it for
+    /// this solve.
+    pub max_etas: usize,
 }
 
 impl SolveOptions {
@@ -122,6 +140,12 @@ pub struct SessionStats {
     /// Restricted (frozen-block submodel) solves; see
     /// [`SolverSession::solve_restricted`].
     pub restricted: u64,
+    /// Columns appended by pricing oracles through
+    /// [`SolverSession::add_generated_cols`] (the colgen growth path).
+    pub columns_generated: u64,
+    /// Generation rounds that appended at least one priced column — the
+    /// restricted-master round count of the column-generation loops.
+    pub colgen_rounds: u64,
 }
 
 impl SessionStats {
@@ -157,6 +181,8 @@ impl SessionStats {
         self.bland_pivots += other.bland_pivots;
         self.cache_hits += other.cache_hits;
         self.restricted += other.restricted;
+        self.columns_generated += other.columns_generated;
+        self.colgen_rounds += other.colgen_rounds;
     }
 
     /// Labelled counter rows for table rendering (`(label, value)`), in a
@@ -172,6 +198,8 @@ impl SessionStats {
             ("bland pivots".into(), self.bland_pivots.to_string()),
             ("cache hits".into(), self.cache_hits.to_string()),
             ("restricted solves".into(), self.restricted.to_string()),
+            ("columns generated".into(), self.columns_generated.to_string()),
+            ("colgen rounds".into(), self.colgen_rounds.to_string()),
             ("warm fraction".into(), format!("{:.3}", self.warm_fraction())),
         ]
     }
@@ -416,6 +444,17 @@ impl SolverSession {
 
     // --- solving ----------------------------------------------------------
 
+    /// The simplex options a solve under `opts` actually runs with: the
+    /// per-call override (or the model's stored options), with a nonzero
+    /// [`SolveOptions::max_etas`] substituted for `refactor_every`.
+    fn effective_simplex(&self, opts: &SolveOptions) -> SimplexOptions {
+        let mut simplex = opts.simplex.clone().unwrap_or_else(|| self.model.options().clone());
+        if opts.max_etas != 0 {
+            simplex.refactor_every = opts.max_etas;
+        }
+        simplex
+    }
+
     /// Re-optimize, reusing the saved basis when possible.
     ///
     /// The restart that actually ran is readable via
@@ -432,7 +471,7 @@ impl SolverSession {
                 return Ok(cached.clone());
             }
         }
-        let simplex = opts.simplex.clone().unwrap_or_else(|| self.model.options().clone());
+        let simplex = self.effective_simplex(opts);
         let warm = if opts.force_cold { None } else { self.basis.as_ref() };
         let (solution, basis, restart) = solve_model_session(&self.model, &simplex, warm)?;
         self.basis = Some(basis);
@@ -486,7 +525,7 @@ impl SolverSession {
         tol: f64,
         opts: &SolveOptions,
     ) -> Result<RestrictedOutcome, SolveError> {
-        let simplex = opts.simplex.clone().unwrap_or_else(|| self.model.options().clone());
+        let simplex = self.effective_simplex(opts);
         let feas_eps = simplex.feas_tol.max(tol);
         let n = self.model.num_vars();
         let mut fixed: Vec<Option<f64>> = vec![None; n];
@@ -559,7 +598,12 @@ impl SolverSession {
         if let Some(slot) = self.restricted_bases.iter_mut().find(|(k, _)| *k == key) {
             slot.1 = sub_basis;
         } else {
-            if self.restricted_bases.len() >= 8 {
+            let cap = if opts.restricted_basis_cache == 0 {
+                DEFAULT_RESTRICTED_BASIS_CACHE
+            } else {
+                opts.restricted_basis_cache
+            };
+            while self.restricted_bases.len() >= cap {
                 self.restricted_bases.remove(0);
             }
             self.restricted_bases.push((key, sub_basis));
@@ -762,37 +806,106 @@ impl SolverSession {
         })
     }
 
-    /// Solve with lazy row generation: repeatedly solve, ask `gen` for rows
-    /// the tentative optimum violates, append them, and re-solve **warm** —
-    /// each round restarts dual from the previous basis instead of from
-    /// scratch, which is where session reuse pays off most.
+    // --- lazy generation --------------------------------------------------
+
+    /// Append rows produced by a [`RowGen`] oracle through the session's
+    /// tracked growth path, returning `(key, row)` pairs in insertion
+    /// order. Appended rows seat their slack in the basis, so the next
+    /// solve restarts warm (dual).
+    pub fn add_generated_rows(&mut self, requests: Vec<RowRequest>) -> Vec<(u64, RowId)> {
+        requests
+            .into_iter()
+            .map(|r| {
+                let id = self.add_row(&r.name, r.expr, r.cmp, r.rhs);
+                (r.key, id)
+            })
+            .collect()
+    }
+
+    /// Append columns produced by a [`ColGen`] oracle through the session's
+    /// tracked growth path, returning `(key, var)` pairs in insertion
+    /// order. Each column lands as a fresh variable retrofitted into its
+    /// (pre-existing) rows — warm-safe, because the saved basis never
+    /// references the new column. Counts the columns into
+    /// [`SessionStats::columns_generated`] and, when the batch is
+    /// non-empty, one restricted-master round into
+    /// [`SessionStats::colgen_rounds`].
+    pub fn add_generated_cols(&mut self, requests: Vec<ColRequest>) -> Vec<(u64, Var)> {
+        if !requests.is_empty() {
+            self.stats.colgen_rounds += 1;
+        }
+        requests
+            .into_iter()
+            .map(|c| {
+                let v = self.add_var(&c.name, c.lb, c.ub, c.obj);
+                for (r, coef) in c.terms {
+                    self.add_term(r, v, coef);
+                }
+                self.stats.columns_generated += 1;
+                (c.key, v)
+            })
+            .collect()
+    }
+
+    /// The unified generation loop: solve the restricted model **warm**,
+    /// ask the row oracle for violated rows and the column oracle for
+    /// columns that price out against the same tentative optimum, append
+    /// both, and repeat until neither side generates. The terminal
+    /// solution is then optimal for the full problem: absent rows are
+    /// satisfied with dual zero, absent columns are nonbasic at bound with
+    /// unfavorable reduced cost — the terminal duals are the certificate.
     ///
-    /// Semantics match the row-generation contract of [`crate::lazy`]: the
-    /// generator must be monotone, and rows it never produces have dual zero
-    /// by construction.
-    pub fn solve_lazy(
+    /// Both oracles must be monotone (never retract, never repeat). Rows
+    /// and columns generated in the same round are appended rows-first, so
+    /// a column request may reference a row id returned by *earlier*
+    /// rounds but not one generated in the same round.
+    pub fn solve_gen(
         &mut self,
-        gen: &mut dyn RowGen,
+        rows: &mut dyn RowGen,
+        cols: &mut dyn ColGen,
         opts: &SolveOptions,
-    ) -> Result<LazyOutcome, SolveError> {
-        let max_rounds = if opts.max_rounds == 0 { 50 } else { opts.max_rounds };
-        let mut generated = Vec::new();
+    ) -> Result<GenOutcome, SolveError> {
+        let max_rounds = if opts.max_rounds == 0 { DEFAULT_MAX_ROUNDS } else { opts.max_rounds };
+        let mut generated_rows = Vec::new();
+        let mut generated_cols = Vec::new();
         let mut rounds = 0;
         loop {
             rounds += 1;
             let solution = self.solve(opts)?;
-            let violated = gen.violated(&self.model, &solution);
-            if violated.is_empty() {
-                return Ok(LazyOutcome { solution, generated, rounds });
+            let new_rows = rows.violated(&self.model, &solution);
+            let new_cols = cols.priced(&self.model, &solution);
+            if new_rows.is_empty() && new_cols.is_empty() {
+                return Ok(GenOutcome { solution, generated_rows, generated_cols, rounds });
             }
             if rounds >= max_rounds {
                 return Err(SolveError::IterationLimit { iterations: rounds as u64 });
             }
-            for r in violated {
-                let id = self.add_row(&r.name, r.expr, r.cmp, r.rhs);
-                generated.push((r.key, id));
-            }
+            generated_rows.extend(self.add_generated_rows(new_rows));
+            generated_cols.extend(self.add_generated_cols(new_cols));
         }
+    }
+
+    /// Solve with lazy row generation only: [`SolverSession::solve_gen`]
+    /// with [`NoGen`] on the column side. Semantics match the
+    /// row-generation contract of [`crate::lazy`].
+    pub fn solve_lazy(
+        &mut self,
+        gen: &mut dyn RowGen,
+        opts: &SolveOptions,
+    ) -> Result<GenOutcome, SolveError> {
+        self.solve_gen(gen, &mut NoGen, opts)
+    }
+
+    /// Solve with column generation only: [`SolverSession::solve_gen`]
+    /// with [`NoGen`] on the row side. Each round re-solves the restricted
+    /// master warm from the saved basis and hands the duals to the pricing
+    /// oracle; the loop ends when no column prices out.
+    pub fn solve_colgen(
+        &mut self,
+        gen: &mut dyn ColGen,
+        opts: &SolveOptions,
+    ) -> Result<GenOutcome, SolveError> {
+        self.solve_gen(&mut NoGen, gen, opts)
     }
 }
 
@@ -1131,5 +1244,39 @@ mod tests {
         // Only the first round was cold.
         assert_eq!(s.stats().cold_starts, 1);
         assert!(s.stats().warm_dual >= 1, "{:?}", s.stats());
+        // Pure row generation reports no columns.
+        assert!(out.generated_cols.is_empty());
+        assert_eq!(s.stats().columns_generated, 0);
+    }
+
+    #[test]
+    fn max_etas_overrides_refactor_cadence() {
+        // A tiny max_etas forces refactorization every iteration — the
+        // solve must still reach the same certified optimum.
+        let (mut s, _x, _y, _r1, _r2) = toy();
+        let opts = SolveOptions { max_etas: 1, ..Default::default() };
+        let sol = s.solve(&opts).unwrap();
+        assert!((sol.objective() - 12.0).abs() < 1e-7);
+        // And the default (0) leaves the model's cadence untouched.
+        let eff = s.effective_simplex(&SolveOptions::default());
+        assert_eq!(eff.refactor_every, s.model().options().refactor_every);
+        let eff1 = s.effective_simplex(&opts);
+        assert_eq!(eff1.refactor_every, 1);
+    }
+
+    #[test]
+    fn restricted_basis_cache_capacity_is_configurable() {
+        let (mut s, a, _b, _da, db, _shared) = coupled();
+        let sol = s.solve(&SolveOptions::default()).unwrap();
+        let opts = SolveOptions { restricted_basis_cache: 1, ..Default::default() };
+        // Two distinct freeze patterns under capacity 1: the LRU holds at
+        // most one terminal basis.
+        s.set_rhs(db, 3.0);
+        s.solve_restricted(&[(a, sol.value(a))], 1e-7, &opts).unwrap();
+        assert_eq!(s.restricted_bases.len(), 1);
+        let first_key = s.restricted_bases[0].0;
+        s.solve_restricted(&[], 1e-7, &opts).unwrap();
+        assert_eq!(s.restricted_bases.len(), 1);
+        assert_ne!(s.restricted_bases[0].0, first_key, "older pattern evicted");
     }
 }

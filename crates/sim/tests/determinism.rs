@@ -5,8 +5,11 @@
 //! contract: running the same experiment serially, with `--jobs 1`, and
 //! with `--jobs 8` must produce bit-identical outputs.
 
+use pretium_core::{ColumnGen, PretiumConfig};
 use pretium_sim::registry::{registry_at, run_experiments, Scale};
-use pretium_sim::{compare_schemes, compare_schemes_jobs, Comparison, ScenarioConfig};
+use pretium_sim::{
+    compare_schemes, compare_schemes_jobs, run_pretium, Comparison, ScenarioConfig, Variant,
+};
 
 /// Every float the schemes produce, flattened so `Vec<f64>` equality is a
 /// bitwise comparison of the full comparison result.
@@ -105,6 +108,38 @@ fn evaluation_scale_fig6_is_bit_identical_across_job_counts() {
     let (one, _) = run_experiments(&fig6, rand::DEFAULT_SEED, 1).expect("jobs=1 run");
     let (four, _) = run_experiments(&fig6, rand::DEFAULT_SEED, 4).expect("jobs=4 run");
     assert_eq!(one, four);
+}
+
+#[test]
+fn colgen_runs_are_bit_identical_across_job_counts() {
+    // Lazy column generation (DESIGN.md §17) rides inside each SAM solve;
+    // the worker count must stay a pure wall-clock knob there too. A full
+    // scenario replay with the restricted master at `ra_jobs` 1 and 8 must
+    // produce bit-identical deliveries, payments, admissions, and LP
+    // counters — and must actually price columns in, or this test pins the
+    // full-materialization path under a different flag.
+    let sc = ScenarioConfig::tiny(rand::DEFAULT_SEED).build();
+    let mk = |ra_jobs: usize| {
+        let cfg = PretiumConfig { ra_jobs, colgen: ColumnGen::on(), ..PretiumConfig::default() };
+        run_pretium(&sc, cfg, Variant::Full).expect("colgen run")
+    };
+    let one = mk(1);
+    let eight = mk(8);
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+    assert_eq!(
+        bits(&one.outcome.delivered),
+        bits(&eight.outcome.delivered),
+        "deliveries diverged between ra_jobs=1 and ra_jobs=8"
+    );
+    assert_eq!(bits(&one.outcome.payments), bits(&eight.outcome.payments));
+    assert_eq!(one.outcome.admitted, eight.outcome.admitted);
+    assert_eq!(one.lp_stats, eight.lp_stats, "LP restart counters diverged");
+    assert!(
+        one.telemetry().lp_columns_generated > 0,
+        "restricted master never priced a column in the tiny scenario"
+    );
+    assert_eq!(one.telemetry().lp_columns_generated, eight.telemetry().lp_columns_generated);
+    assert_eq!(one.telemetry().lp_colgen_rounds, eight.telemetry().lp_colgen_rounds);
 }
 
 #[test]
