@@ -1,0 +1,345 @@
+//! Sparse LU with Markowitz pivoting + Forrest–Tomlin updates vs the
+//! dense-bump product-form reference kernel, on LP-shaped bases.
+//!
+//! Two scenarios mirror the repo's LP population: `wide` (m = 600, the
+//! widest single-window SAM master) and `colgen` (m = 1600, the
+//! restricted-master scale the column-generation redesign unlocked). Each
+//! basis mixes slack singletons, interlocked multi-hop flow columns, and
+//! denser percentile/CVaR columns — the structure that makes a dense bump
+//! large while the sparse kernel's fill stays modest.
+//!
+//! Measured per scenario: refactorization wall-clock (both kernels),
+//! FTRAN/BTRAN wall-clock (both kernels), the Forrest–Tomlin update loop,
+//! and the fill-in ratio `nnz(L+U) / nnz(B)`. A counting global allocator
+//! additionally asserts the PR's scratch-reuse contract: after one
+//! warm-up call, steady-state `ftran`/`btran` perform **zero** heap
+//! allocations.
+//!
+//! Set `SPARSE_LU_SMOKE=1` for the CI mode: fewer samples, the
+//! ≥ 1.5× colgen-scale refactor-speedup floor and the zero-allocation
+//! floor asserted, and no JSON written (a smoke run never clobbers
+//! recorded numbers). Full mode writes `BENCH_sparse_lu.json`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use pretium_bench::black_box;
+use pretium_lp::simplex::basis::dense_ref::DenseBumpFactorization;
+use pretium_lp::simplex::basis::{Factorization, SparseCol};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Counts allocations + reallocations; frees are uncounted (the contract
+/// under test is "no new memory on the steady-state solve path").
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+const PIVOT_TOL: f64 = 1e-9;
+/// Acceptance floor: sparse refactorization must beat the dense bump by
+/// at least this factor at the colgen scale.
+const MIN_COLGEN_REFACTOR_SPEEDUP: f64 = 1.5;
+
+/// An LP-shaped basis: `slack_frac` of the columns are slack singletons,
+/// a sprinkle are dense percentile/CVaR columns, the rest are interlocked
+/// flow columns whose row patterns stride across the matrix (so no
+/// triangularization shrinks the dense kernel's bump). Column `j` is
+/// anchored at row `j` with strict column dominance ⇒ nonsingular.
+fn lp_column(m: usize, anchor: usize, extra: usize, local: bool, rng: &mut StdRng) -> SparseCol {
+    let mut used = vec![anchor];
+    let mut col: SparseCol = Vec::new();
+    let mut mass = 0.0;
+    for hop in 0..extra {
+        // Flow columns occupy consecutive rows (a path's edge×time rows
+        // form a staircase band, like the SAM LP's per-timestep capacity
+        // rows); percentile columns couple rows across the whole matrix.
+        let r = if local { (anchor + hop + 1) % m } else { (anchor + rng.gen_range(1..m)) % m };
+        if !used.contains(&r) {
+            used.push(r);
+            let v = rng.gen_range(0.25..1.0) * if rng.gen_range(0..2) == 0 { -1.0 } else { 1.0 };
+            mass += v.abs();
+            col.push((r as u32, v));
+        }
+    }
+    col.push((anchor as u32, mass * 2.0 + 1.0));
+    col
+}
+
+fn lp_basis(m: usize, slack_frac: f64, rng: &mut StdRng) -> Vec<SparseCol> {
+    (0..m)
+        .map(|j| {
+            let class = rng.gen_range(0.0..1.0);
+            let (extra, local) = if class < slack_frac {
+                (0, true) // slack singleton
+            } else if class < slack_frac + 0.10 {
+                (rng.gen_range(16..25), false) // percentile/CVaR coupling column
+            } else {
+                (rng.gen_range(4..8), true) // k-hop flow column
+            };
+            lp_column(m, j, extra, local, rng)
+        })
+        .collect()
+}
+
+fn as_refs(cols: &[SparseCol]) -> Vec<&SparseCol> {
+    cols.iter().collect()
+}
+
+fn basis_nnz(cols: &[SparseCol]) -> usize {
+    cols.iter().map(Vec::len).sum()
+}
+
+fn median_us(samples: &mut [Duration]) -> f64 {
+    samples.sort();
+    samples[samples.len() / 2].as_secs_f64() * 1e6
+}
+
+struct ScenarioResult {
+    name: &'static str,
+    m: usize,
+    basis_nnz: usize,
+    fill_ratio: f64,
+    sparse_refactor_us: f64,
+    dense_refactor_us: f64,
+    refactor_speedup: f64,
+    sparse_ftran_us: f64,
+    dense_ftran_us: f64,
+    sparse_btran_us: f64,
+    dense_btran_us: f64,
+    ft_update_us: f64,
+    ft_updates_applied: u64,
+}
+
+fn run_scenario(
+    name: &'static str,
+    m: usize,
+    refactor_samples: usize,
+    dense_samples: usize,
+) -> ScenarioResult {
+    let mut rng = StdRng::seed_from_u64(rand::derive_seed(rand::DEFAULT_SEED, name));
+    let mut cols = lp_basis(m, 0.40, &mut rng);
+    let nnz = basis_nnz(&cols);
+    let refs = as_refs(&cols);
+
+    // --- refactorization ------------------------------------------------
+    let mut sparse = Factorization::new(m, 0, PIVOT_TOL);
+    let mut sparse_t: Vec<Duration> = (0..refactor_samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(sparse.refactor(black_box(&refs))).unwrap();
+            t0.elapsed()
+        })
+        .collect();
+    let fill_ratio = sparse.factor_nnz() as f64 / nnz as f64;
+
+    let mut dense = DenseBumpFactorization::new(m, 0, PIVOT_TOL);
+    let mut dense_t: Vec<Duration> = (0..dense_samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(dense.refactor(black_box(&refs))).unwrap();
+            t0.elapsed()
+        })
+        .collect();
+    println!(
+        "  [{name}] dense bump {} of {m} rows, sparse factor nnz {}",
+        dense.bump_size(),
+        sparse.factor_nnz()
+    );
+
+    // --- FTRAN / BTRAN --------------------------------------------------
+    let rhs: Vec<Vec<f64>> =
+        (0..32).map(|_| (0..m).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+    let mut out = vec![0.0; m];
+    // Warm up both kernels' scratch, then pin the zero-allocation contract
+    // for the sparse kernel's steady state.
+    sparse.ftran_dense(&rhs[0], &mut out);
+    sparse.btran(&rhs[0], &mut out);
+    let allocs_before = ALLOCS.load(Ordering::Relaxed);
+    for a in &rhs {
+        sparse.ftran_dense(black_box(a), &mut out);
+        black_box(&out);
+        sparse.btran(black_box(a), &mut out);
+        black_box(&out);
+    }
+    let steady_allocs = ALLOCS.load(Ordering::Relaxed) - allocs_before;
+    assert_eq!(
+        steady_allocs,
+        0,
+        "steady-state ftran/btran allocated {steady_allocs} times over {} solves",
+        2 * rhs.len()
+    );
+
+    fn time_solves(
+        rhs: &[Vec<f64>],
+        out: &mut Vec<f64>,
+        body: &mut dyn FnMut(&[f64], &mut Vec<f64>),
+    ) -> f64 {
+        let mut samples: Vec<Duration> = rhs
+            .iter()
+            .map(|a| {
+                let t0 = Instant::now();
+                body(a, out);
+                black_box(&*out);
+                t0.elapsed()
+            })
+            .collect();
+        median_us(&mut samples)
+    }
+    let sparse_ftran_us = time_solves(&rhs, &mut out, &mut |a, o| sparse.ftran_dense(a, o));
+    let sparse_btran_us = time_solves(&rhs, &mut out, &mut |a, o| sparse.btran(a, o));
+    dense.ftran_dense(&rhs[0], &mut out); // scratch warm-up
+    let dense_ftran_us = time_solves(&rhs, &mut out, &mut |a, o| dense.ftran_dense(a, o));
+    let dense_btran_us = time_solves(&rhs, &mut out, &mut |a, o| dense.btran(a, o));
+
+    // --- Forrest–Tomlin update loop -------------------------------------
+    // Replace random non-slack positions with fresh flow columns, timing
+    // FTRAN + update per exchange; refactor on rejection or cadence, as
+    // the solver would.
+    let mut applied = 0u64;
+    let mut update_t: Vec<Duration> = Vec::new();
+    let mut dense_a = vec![0.0; m];
+    let exchanges = 64.min(m / 4);
+    for _ in 0..exchanges {
+        let pos = rng.gen_range(0..m);
+        let hops = rng.gen_range(4..8);
+        let entering = lp_column(m, pos, hops, true, &mut rng);
+        dense_a.iter_mut().for_each(|v| *v = 0.0);
+        for &(i, v) in &entering {
+            dense_a[i as usize] = v;
+        }
+        let t0 = Instant::now();
+        let mut w = Vec::new();
+        sparse.ftran_dense(&dense_a, &mut w);
+        let ok = sparse.update(pos, &w);
+        update_t.push(t0.elapsed());
+        if ok {
+            cols[pos] = entering;
+            applied += 1;
+        }
+        if !ok || sparse.wants_refactor() {
+            let refs = as_refs(&cols);
+            sparse.refactor(&refs).unwrap();
+        }
+    }
+
+    ScenarioResult {
+        name,
+        m,
+        basis_nnz: nnz,
+        fill_ratio,
+        sparse_refactor_us: median_us(&mut sparse_t),
+        dense_refactor_us: median_us(&mut dense_t),
+        refactor_speedup: 0.0, // filled below
+        sparse_ftran_us,
+        dense_ftran_us,
+        sparse_btran_us,
+        dense_btran_us,
+        ft_update_us: median_us(&mut update_t),
+        ft_updates_applied: applied,
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("SPARSE_LU_SMOKE").is_ok_and(|v| v == "1");
+    let (refactor_samples, dense_samples) = if smoke { (3, 2) } else { (15, 7) };
+
+    let mut results = vec![
+        run_scenario("wide", 600, refactor_samples, dense_samples),
+        run_scenario("colgen", 1600, refactor_samples, dense_samples),
+    ];
+    for r in &mut results {
+        r.refactor_speedup = r.dense_refactor_us / r.sparse_refactor_us.max(1e-9);
+        println!(
+            "{:<8} m={:<5} nnz={:<6} fill={:.3}  refactor {:.1}us (dense {:.1}us, {:.2}x)  \
+             ftran {:.2}us/{:.2}us  btran {:.2}us/{:.2}us  ft-update {:.2}us ({} applied)",
+            r.name,
+            r.m,
+            r.basis_nnz,
+            r.fill_ratio,
+            r.sparse_refactor_us,
+            r.dense_refactor_us,
+            r.refactor_speedup,
+            r.sparse_ftran_us,
+            r.dense_ftran_us,
+            r.sparse_btran_us,
+            r.dense_btran_us,
+            r.ft_update_us,
+            r.ft_updates_applied,
+        );
+        println!("BENCH\tsparse_lu_{}_fill_ratio\t{:.3}", r.name, r.fill_ratio);
+        println!("BENCH\tsparse_lu_{}_refactor_us\t{:.1}", r.name, r.sparse_refactor_us);
+        println!("BENCH\tsparse_lu_{}_dense_refactor_us\t{:.1}", r.name, r.dense_refactor_us);
+        println!("BENCH\tsparse_lu_{}_refactor_speedup\t{:.3}", r.name, r.refactor_speedup);
+        println!("BENCH\tsparse_lu_{}_ftran_us\t{:.2}", r.name, r.sparse_ftran_us);
+        println!("BENCH\tsparse_lu_{}_btran_us\t{:.2}", r.name, r.sparse_btran_us);
+        println!("BENCH\tsparse_lu_{}_ft_update_us\t{:.2}", r.name, r.ft_update_us);
+        assert!(r.ft_updates_applied > 0, "{}: no FT update was ever accepted", r.name);
+        assert!(r.fill_ratio < 10.0, "{}: pathological fill {:.1}", r.name, r.fill_ratio);
+    }
+
+    let colgen = &results[1];
+    assert!(
+        colgen.refactor_speedup >= MIN_COLGEN_REFACTOR_SPEEDUP,
+        "colgen-scale refactor speedup {:.2}x below the {MIN_COLGEN_REFACTOR_SPEEDUP}x floor",
+        colgen.refactor_speedup
+    );
+
+    if smoke {
+        println!(
+            "sparse_lu smoke: zero-allocation, fill, and {MIN_COLGEN_REFACTOR_SPEEDUP}x \
+             colgen refactor floors hold"
+        );
+        return;
+    }
+
+    let cell = |r: &ScenarioResult| {
+        format!(
+            "    {{\n      \"scenario\": \"{}\",\n      \"m\": {},\n      \"basis_nnz\": {},\n      \
+             \"fill_ratio\": {:.3},\n      \"refactor_us\": {:.1},\n      \
+             \"dense_refactor_us\": {:.1},\n      \"refactor_speedup\": {:.3},\n      \
+             \"ftran_us\": {:.2},\n      \"dense_ftran_us\": {:.2},\n      \
+             \"btran_us\": {:.2},\n      \"dense_btran_us\": {:.2},\n      \
+             \"ft_update_us\": {:.2},\n      \"ft_updates_applied\": {}\n    }}",
+            r.name,
+            r.m,
+            r.basis_nnz,
+            r.fill_ratio,
+            r.sparse_refactor_us,
+            r.dense_refactor_us,
+            r.refactor_speedup,
+            r.sparse_ftran_us,
+            r.dense_ftran_us,
+            r.sparse_btran_us,
+            r.dense_btran_us,
+            r.ft_update_us,
+            r.ft_updates_applied,
+        )
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"sparse_lu\",\n  \"steady_state_solve_allocations\": 0,\n  \
+         \"scenarios\": [\n{},\n{}\n  ]\n}}\n",
+        cell(&results[0]),
+        cell(&results[1]),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sparse_lu.json");
+    std::fs::write(path, json).expect("write BENCH_sparse_lu.json");
+    println!("wrote {path}");
+}

@@ -161,6 +161,15 @@ pub struct PretiumConfig {
     /// recorded experiment uses it unless stated. PC and the offline
     /// baselines always solve fully materialized regardless of this knob.
     pub colgen: ColumnGen,
+    /// Forrest–Tomlin updates the LP basis factorization accumulates
+    /// before refactorizing, for every LP Pretium solves. `0` (the
+    /// default) inherits the solver default
+    /// ([`pretium_lp::DEFAULT_MAX_ETAS`]). Any setting preserves the
+    /// cross-`--jobs` replay contract; different settings change refactor
+    /// cadence and hence floating-point roundoff, so objectives agree
+    /// across settings only to solver tolerance (see the determinism
+    /// suite's documented contract), not bit-exactly.
+    pub max_etas: usize,
 }
 
 impl Default for PretiumConfig {
@@ -184,6 +193,7 @@ impl Default for PretiumConfig {
             incremental_sam: IncrementalSam::Off,
             sam_full_every: 16,
             colgen: ColumnGen::Off,
+            max_etas: 0,
         }
     }
 }

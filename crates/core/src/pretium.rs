@@ -299,6 +299,7 @@ impl Pretium {
                 pricing: self.cfg.pricing,
                 ..SimplexOptions::default()
             }),
+            max_etas: self.cfg.max_etas,
             ..SolveOptions::default()
         }
     }
@@ -740,6 +741,12 @@ impl Pretium {
         self.telemetry.lp_columns_generated +=
             lp_after.columns_generated - lp_before.columns_generated;
         self.telemetry.lp_colgen_rounds += lp_after.colgen_rounds - lp_before.colgen_rounds;
+        self.telemetry.lp_refactors += lp_after.refactors - lp_before.refactors;
+        self.telemetry.lp_ft_updates += lp_after.ft_updates - lp_before.ft_updates;
+        self.telemetry.lp_pivot_rejections +=
+            lp_after.pivot_rejections - lp_before.pivot_rejections;
+        self.telemetry.lp_basis_nnz += lp_after.basis_nnz - lp_before.basis_nnz;
+        self.telemetry.lp_factor_nnz += lp_after.factor_nnz - lp_before.factor_nnz;
         // The installed plans now reflect every capacity change reported so
         // far; start accumulating touched edges for the next step.
         self.sam_touched = Some(HashSet::default());
@@ -864,6 +871,11 @@ impl Pretium {
         self.lp_stats.merge(sol.lp_stats);
         self.telemetry.lp_iterations += sol.lp_stats.iterations;
         self.telemetry.lp_pricing_scans += sol.lp_stats.pricing_scans;
+        self.telemetry.lp_refactors += sol.lp_stats.refactors;
+        self.telemetry.lp_ft_updates += sol.lp_stats.ft_updates;
+        self.telemetry.lp_pivot_rejections += sol.lp_stats.pivot_rejections;
+        self.telemetry.lp_basis_nnz += sol.lp_stats.basis_nnz;
+        self.telemetry.lp_factor_nnz += sol.lp_stats.factor_nnz;
         // Reference window: the pattern carried into the future.
         self.bump_epoch();
         let ref_start = self.grid.window_start(w_now - back);

@@ -203,6 +203,17 @@ pub struct Telemetry {
     pub lp_columns_generated: u64,
     /// Pricing rounds that appended at least one generated column.
     pub lp_colgen_rounds: u64,
+    /// Sparse-LU basis refactorizations across those LPs.
+    pub lp_refactors: u64,
+    /// Forrest–Tomlin basis-exchange updates applied in place.
+    pub lp_ft_updates: u64,
+    /// FT updates rejected on a too-small pivot (each forces a refactor).
+    pub lp_pivot_rejections: u64,
+    /// Cumulative nonzeros of bases handed to refactorization.
+    pub lp_basis_nnz: u64,
+    /// Cumulative nonzeros of the L/U factors produced;
+    /// `lp_factor_nnz / lp_basis_nnz` is the run's fill-in ratio.
+    pub lp_factor_nnz: u64,
 }
 
 impl Telemetry {
@@ -244,6 +255,13 @@ impl Telemetry {
             ("lp pricing scans".into(), self.lp_pricing_scans.to_string()),
             ("lp columns generated".into(), self.lp_columns_generated.to_string()),
             ("lp colgen rounds".into(), self.lp_colgen_rounds.to_string()),
+            ("lp refactors".into(), self.lp_refactors.to_string()),
+            ("lp ft updates".into(), self.lp_ft_updates.to_string()),
+            ("lp pivot rejections".into(), self.lp_pivot_rejections.to_string()),
+            (
+                "lp fill-in ratio".into(),
+                format!("{:.3}", self.lp_factor_nnz as f64 / self.lp_basis_nnz.max(1) as f64),
+            ),
         ]
     }
 }
@@ -306,8 +324,12 @@ mod tests {
     fn rows_cover_every_counter() {
         let t = Telemetry::default();
         let rows = t.rows();
-        assert_eq!(rows.len(), 27);
+        assert_eq!(rows.len(), 31);
         assert!(rows.iter().any(|(k, _)| k == "sam localized"));
+        assert!(rows.iter().any(|(k, _)| k == "lp refactors"));
+        assert!(rows.iter().any(|(k, _)| k == "lp ft updates"));
+        assert!(rows.iter().any(|(k, _)| k == "lp pivot rejections"));
+        assert!(rows.iter().any(|(k, _)| k == "lp fill-in ratio"));
         assert!(rows.iter().any(|(k, _)| k == "lp columns generated"));
         assert!(rows.iter().any(|(k, _)| k == "lp colgen rounds"));
         assert!(rows.iter().any(|(k, _)| k == "sam localized fallbacks"));

@@ -90,5 +90,6 @@ pub use expr::{LinExpr, Term, Var};
 pub use lazy::{ColGen, ColRequest, GenOutcome, NoGen, RowGen, RowRequest};
 pub use model::{Cmp, Model, RowId, Sense};
 pub use session::{Mutations, RestrictedOutcome, SessionStats, SolveOptions, SolverSession};
+pub use simplex::basis::{FactorStats, DEFAULT_MAX_ETAS};
 pub use simplex::{Pricing, Restart, SimplexOptions};
 pub use solution::{Solution, SolveError, Status};

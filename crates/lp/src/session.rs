@@ -72,10 +72,11 @@ pub struct SolveOptions {
     /// Capacity of [`SolverSession::solve_restricted`]'s freeze-pattern
     /// warm-basis LRU; `0` selects [`DEFAULT_RESTRICTED_BASIS_CACHE`].
     pub restricted_basis_cache: usize,
-    /// Eta updates a basis factorization accumulates before
+    /// Forrest–Tomlin updates a basis factorization accumulates before
     /// refactorizing; `0` inherits `refactor_every` from the effective
-    /// simplex options (the default 96), a nonzero value overrides it for
-    /// this solve.
+    /// simplex options (whose default is
+    /// [`crate::simplex::basis::DEFAULT_MAX_ETAS`]), a nonzero value
+    /// overrides it for this solve.
     pub max_etas: usize,
 }
 
@@ -146,6 +147,18 @@ pub struct SessionStats {
     /// Generation rounds that appended at least one priced column — the
     /// restricted-master round count of the column-generation loops.
     pub colgen_rounds: u64,
+    /// Sparse-LU refactorizations across all solves.
+    pub refactors: u64,
+    /// Cumulative nonzeros of the bases handed to refactorization.
+    pub basis_nnz: u64,
+    /// Cumulative nonzeros of the L/U factors produced (including the
+    /// diagonal); `factor_nnz / basis_nnz` is the session fill-in ratio.
+    pub factor_nnz: u64,
+    /// Forrest–Tomlin basis-exchange updates applied in place.
+    pub ft_updates: u64,
+    /// FT updates rejected on a too-small new diagonal (each forces a
+    /// refactorization).
+    pub pivot_rejections: u64,
 }
 
 impl SessionStats {
@@ -154,11 +167,20 @@ impl SessionStats {
         self.iterations += solution.iterations();
         self.pricing_scans += solution.pricing_scans();
         self.bland_pivots += solution.bland_pivots();
+        self.record_factor(solution.factor_stats());
         match restart {
             Restart::Cold => self.cold_starts += 1,
             Restart::WarmPrimal => self.warm_primal += 1,
             Restart::WarmDual => self.warm_dual += 1,
         }
+    }
+
+    fn record_factor(&mut self, fs: crate::simplex::basis::FactorStats) {
+        self.refactors += fs.refactors;
+        self.basis_nnz += fs.basis_nnz;
+        self.factor_nnz += fs.factor_nnz;
+        self.ft_updates += fs.ft_updates;
+        self.pivot_rejections += fs.pivot_rejections;
     }
 
     /// Fraction of solves that reused the previous basis.
@@ -183,6 +205,11 @@ impl SessionStats {
         self.restricted += other.restricted;
         self.columns_generated += other.columns_generated;
         self.colgen_rounds += other.colgen_rounds;
+        self.refactors += other.refactors;
+        self.basis_nnz += other.basis_nnz;
+        self.factor_nnz += other.factor_nnz;
+        self.ft_updates += other.ft_updates;
+        self.pivot_rejections += other.pivot_rejections;
     }
 
     /// Labelled counter rows for table rendering (`(label, value)`), in a
@@ -200,6 +227,13 @@ impl SessionStats {
             ("restricted solves".into(), self.restricted.to_string()),
             ("columns generated".into(), self.columns_generated.to_string()),
             ("colgen rounds".into(), self.colgen_rounds.to_string()),
+            ("refactors".into(), self.refactors.to_string()),
+            ("ft updates".into(), self.ft_updates.to_string()),
+            ("pivot rejections".into(), self.pivot_rejections.to_string()),
+            (
+                "fill-in ratio".into(),
+                format!("{:.3}", self.factor_nnz as f64 / self.basis_nnz.max(1) as f64),
+            ),
             ("warm fraction".into(), format!("{:.3}", self.warm_fraction())),
         ]
     }
@@ -612,6 +646,7 @@ impl SolverSession {
         self.stats.iterations += sub_sol.iterations();
         self.stats.pricing_scans += sub_sol.pricing_scans();
         self.stats.bland_pivots += sub_sol.bland_pivots();
+        self.stats.record_factor(sub_sol.factor_stats());
 
         // Assemble the parent-shaped composite.
         let mut values = vec![0.0; n];
@@ -786,6 +821,7 @@ impl SolverSession {
             iterations: sub_sol.iterations,
             pricing_scans: sub_sol.pricing_scans,
             bland_pivots: sub_sol.bland_pivots,
+            factor_stats: sub_sol.factor_stats,
         };
         if certified {
             // The composite is a proven optimum of the *current* model
@@ -1262,6 +1298,58 @@ mod tests {
         assert_eq!(eff.refactor_every, s.model().options().refactor_every);
         let eff1 = s.effective_simplex(&opts);
         assert_eq!(eff1.refactor_every, 1);
+    }
+
+    #[test]
+    fn default_cadence_is_the_shared_constant() {
+        // The `0 → default` resolution lives in one place:
+        // `basis::DEFAULT_MAX_ETAS` seeds the simplex default cadence, and
+        // `Factorization::new` substitutes it for a literal zero.
+        assert_eq!(
+            SimplexOptions::default().refactor_every,
+            crate::simplex::basis::DEFAULT_MAX_ETAS
+        );
+    }
+
+    #[test]
+    fn factor_counters_flow_into_session_stats() {
+        let (mut s, _x, _y, _r1, _r2) = toy();
+        s.solve(&SolveOptions::default()).unwrap();
+        let st = s.stats();
+        assert!(st.refactors >= 1, "cold solve refactorizes: {st:?}");
+        assert!(st.basis_nnz >= 1 && st.factor_nnz >= st.basis_nnz, "{st:?}");
+    }
+
+    #[test]
+    fn restricted_solves_resolve_zero_cadence_to_default() {
+        // Sessions spun up internally by `solve_restricted` must inherit
+        // the same `0 → DEFAULT_MAX_ETAS` resolution as top-level solves.
+        let run = |cadence: usize| {
+            let (mut s, a, _b, _da, db, _shared) = coupled();
+            let sol = s.solve(&SolveOptions::default()).unwrap();
+            s.set_rhs(db, 3.0);
+            let opts = SolveOptions {
+                simplex: Some(SimplexOptions {
+                    refactor_every: cadence,
+                    ..SimplexOptions::default()
+                }),
+                ..Default::default()
+            };
+            let before = s.stats();
+            let out = s.solve_restricted(&[(a, sol.value(a))], 1e-7, &opts).unwrap();
+            assert!(out.certified);
+            (out.solution.objective(), s.stats().refactors - before.refactors)
+        };
+        // A literal zero must behave exactly like the shared default —
+        // same optimum, same refactorization count — because the
+        // resolution happens once, inside `Factorization::new`.
+        let zero = run(0);
+        let default = run(crate::simplex::basis::DEFAULT_MAX_ETAS);
+        assert_eq!(zero, default);
+        // And a cadence of 1 genuinely changes the sub-solve's behavior,
+        // proving the override reaches the kernel (not just the options).
+        let tight = run(1);
+        assert!(tight.1 >= zero.1, "cadence 1 refactors at least as often");
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! The Forrest–Tomlin basis-exchange update.
+//!
+//! Replacing the basis column at slot `t` with an entering column `a`
+//! turns `U` into `H`: `U` with column `t` replaced by the *spike*
+//! `s = U·w̃`, where `w̃` is the solver-supplied FTRAN result `w = B⁻¹a`
+//! permuted to slot space (so no extra solve is needed — `U·(U⁻¹·Λ⁻¹a)`
+//! recovers `Λ⁻¹a` directly, with `Λ = L·R₁·…·R_K` the product of all
+//! factors left of `U`).
+//!
+//! Rotating slot `t` to the end of the pivot order makes the spike column
+//! upper triangular again but strands row `t`'s old entries below the
+//! diagonal; eliminating that row against the later pivots (left to
+//! right) yields multipliers `r_k` forming one *row eta*
+//! `R = I + Σ r_k·e_t·e_kᵀ` with `H = R·U_new`, so the factorization
+//! becomes `B = L·R₁·…·R_K·R·U_new`. The new diagonal is
+//! `s_t − Σ r_k·s_k`; if it falls below the pivot tolerance the update is
+//! *rejected before anything is committed* and the caller refactorizes.
+//!
+//! Cost per update: one `O(nnz(U))` spike pass plus the row elimination —
+//! comparable to an FTRAN — in exchange for solve kernels that never
+//! degrade (U stays truly triangular, unlike a product-form eta file).
+
+use super::sparse::RowEta;
+use super::Factorization;
+
+pub(super) fn apply(f: &mut Factorization, pos: usize, w: &[f64]) -> bool {
+    let m = f.m;
+    let t = f.slot_of_pos[pos] as usize;
+
+    // Entering column permuted to slot space.
+    f.wz.resize(m, 0.0);
+    for (s, ws) in f.wz.iter_mut().enumerate() {
+        *ws = w[f.pos_of_slot[s] as usize];
+    }
+    // Spike s = U·w̃ — the replacement column of U, dense over slots.
+    f.spike.resize(m, 0.0);
+    for s in 0..m {
+        let mut acc = f.udiag[s] * f.wz[s];
+        for &(j, u) in &f.urows[s] {
+            acc += u * f.wz[j as usize];
+        }
+        f.spike[s] = acc;
+    }
+
+    // Eliminate row t against every later pivot (in pivot order),
+    // collecting the row-eta terms. Scratch only — nothing is committed
+    // until the new pivot passes the tolerance check.
+    f.stamp += 1;
+    let stamp = f.stamp;
+    f.rowbuf.resize(m, 0.0);
+    f.rowstamp.resize(m, 0);
+    for &(j, u) in &f.urows[t] {
+        f.rowbuf[j as usize] = u;
+        f.rowstamp[j as usize] = stamp;
+    }
+    let mut terms: Vec<(u32, f64)> = Vec::new();
+    let mut new_diag = f.spike[t];
+    for i in (f.ord[t] as usize + 1)..m {
+        let k = f.perm[i] as usize;
+        if f.rowstamp[k] != stamp || f.rowbuf[k] == 0.0 {
+            continue;
+        }
+        let r = f.rowbuf[k] / f.udiag[k];
+        terms.push((k as u32, r));
+        // Row k's entry in the spike column contributes to the diagonal.
+        new_diag -= r * f.spike[k];
+        for &(j, u) in &f.urows[k] {
+            let jj = j as usize;
+            if f.rowstamp[jj] == stamp {
+                f.rowbuf[jj] -= r * u;
+            } else {
+                f.rowstamp[jj] = stamp;
+                f.rowbuf[jj] = -r * u;
+            }
+        }
+    }
+    if new_diag.abs() <= f.pivot_tol {
+        f.stats.pivot_rejections += 1;
+        return false;
+    }
+
+    // --- commit ----------------------------------------------------------
+    // Drop the old column t from the row lists and the old row t from the
+    // column lists (the latter's entries were just eliminated into the
+    // row eta).
+    let mut oldcol = std::mem::take(&mut f.ucols[t]);
+    for &(j, _) in &oldcol {
+        f.urows[j as usize].retain(|&(s, _)| s as usize != t);
+    }
+    let oldrow = std::mem::take(&mut f.urows[t]);
+    for &(j, _) in &oldrow {
+        f.ucols[j as usize].retain(|&(s, _)| s as usize != t);
+    }
+    // Insert the spike as the new column t: with t rotated last, every
+    // other slot sits above it, so all off-diagonal spike entries land in
+    // the upper triangle.
+    oldcol.clear();
+    for (s, &sv) in f.spike.iter().enumerate() {
+        if s != t && sv != 0.0 {
+            oldcol.push((s as u32, sv));
+            f.urows[s].push((t as u32, sv));
+        }
+    }
+    f.ucols[t] = oldcol;
+    f.udiag[t] = new_diag;
+    // Rotate slot t to the end of the pivot order.
+    let p0 = f.ord[t] as usize;
+    for i in p0..m - 1 {
+        f.perm[i] = f.perm[i + 1];
+        f.ord[f.perm[i] as usize] = i as u32;
+    }
+    f.perm[m - 1] = t as u32;
+    f.ord[t] = m as u32 - 1;
+    // An empty term list is the identity eta (t was already last):
+    // nothing to store, but it still counts toward the refactor cadence.
+    if !terms.is_empty() {
+        f.etas.push(RowEta { slot: t as u32, terms });
+    }
+    f.updates += 1;
+    f.stats.ft_updates += 1;
+    true
+}

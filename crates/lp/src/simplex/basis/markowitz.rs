@@ -1,0 +1,256 @@
+//! Sparse Gaussian elimination with threshold-Markowitz pivot selection.
+//!
+//! Each elimination step picks a pivot entry `(r, j)` minimizing the
+//! Markowitz fill bound `(rcount[r] − 1)·(ccount[j] − 1)` among entries
+//! passing the stability ladder (see [`TAU`]). Row and column counts are
+//! maintained incrementally; columns live in count-indexed candidate
+//! buckets with lazily discarded stale entries, so each search touches
+//! only a handful of columns (bounded by [`MAX_SEARCH`] once a candidate
+//! exists, with an immediate stop on a fill-free `cost == 0` pivot).
+//!
+//! Elimination is right-looking: the pivot column becomes a column of
+//! `L`, the pivot row's entries become a row of `U`, and every active
+//! column crossing the pivot row is updated through a dense scatter
+//! (stamp-validated, so clearing costs only the touched entries).
+//!
+//! Everything — bucket order, tie-breaks, fill pattern order — is a pure
+//! function of the input columns, preserving the repo-wide bit-exact
+//! determinism contract.
+
+use super::{FactorError, Factorization, SparseCol};
+
+/// Relative stability threshold: an entry is pivot-eligible only when its
+/// magnitude is at least `TAU` times the largest magnitude in its active
+/// column. Together with the absolute `pivot_tol` floor this forms the
+/// tolerance ladder: `|v| > pivot_tol` guards singularity, `|v| ≥
+/// TAU·colmax` bounds element growth per elimination step.
+const TAU: f64 = 0.1;
+/// Candidate columns examined per pivot search once at least one eligible
+/// entry has been found (the Suhl–Suhl style bounded search).
+const MAX_SEARCH: usize = 8;
+
+pub(super) fn refactorize(
+    f: &mut Factorization,
+    columns: &[&SparseCol],
+) -> Result<(), FactorError> {
+    let m = f.m;
+    debug_assert_eq!(columns.len(), m);
+
+    // --- working copy of the basis, column-major over active rows --------
+    let mut acol: Vec<Vec<(u32, f64)>> = columns.iter().map(|c| (*c).clone()).collect();
+    let mut basis_nnz = 0u64;
+    let mut ccount: Vec<u32> = vec![0; m];
+    let mut rcount: Vec<u32> = vec![0; m];
+    // Columns with a (structural) entry in each row. Entries are pushed
+    // exactly once per (row, column) pair — at setup or at fill creation —
+    // and never removed; consumers skip already-pivoted columns.
+    let mut rows_cols: Vec<Vec<u32>> = vec![Vec::new(); m];
+    for (j, col) in acol.iter().enumerate() {
+        basis_nnz += col.len() as u64;
+        ccount[j] = col.len() as u32;
+        for &(r, _) in col {
+            rcount[r as usize] += 1;
+            rows_cols[r as usize].push(j as u32);
+        }
+    }
+
+    // Count-indexed candidate buckets with lazy invalidation: a column is
+    // re-pushed whenever its count changes; stale or duplicate entries are
+    // dropped when a search encounters them.
+    let mut bucket: Vec<Vec<u32>> = vec![Vec::new(); m + 1];
+    for (j, &c) in ccount.iter().enumerate() {
+        bucket[c as usize].push(j as u32);
+    }
+
+    let mut row_pivoted = vec![false; m];
+    let mut col_pivoted = vec![false; m];
+    // Per-slot outputs, keyed by original row / basis position until the
+    // final remap into slot indices.
+    let mut lraw: Vec<Vec<(u32, f64)>> = Vec::with_capacity(m); // (orig row, mult)
+    let mut u_of_col: Vec<Vec<(u32, f64)>> = vec![Vec::new(); m]; // (slot, value)
+    let mut udiag: Vec<f64> = Vec::with_capacity(m);
+    let mut row_of_slot: Vec<u32> = Vec::with_capacity(m);
+    let mut pos_of_slot: Vec<u32> = Vec::with_capacity(m);
+
+    // Dense scatter scratch for the column updates, and a per-search seen
+    // stamp for bucket deduplication.
+    let mut work: Vec<f64> = vec![0.0; m];
+    let mut mark: Vec<u32> = vec![0; m];
+    let mut seen: Vec<u32> = vec![0; m];
+    let mut pattern: Vec<u32> = Vec::new();
+    let mut stamp: u32 = 0;
+    let mut factor_nnz = m as u64; // the diagonal
+
+    for step in 0..m {
+        // --- pivot search ------------------------------------------------
+        let sstamp = step as u32 + 1;
+        let mut best: Option<(u64, u32, u32, f64)> = None; // (cost, col, row, val)
+        let mut examined = 0usize;
+        // Indexing (not iterating) is load-bearing here: `c` is the count
+        // bucket being drained, compared against `ccount[j]` for staleness.
+        #[allow(clippy::needless_range_loop)]
+        'search: for c in 1..=m {
+            let mut idx = 0;
+            while idx < bucket[c].len() {
+                let j = bucket[c][idx] as usize;
+                if col_pivoted[j] || ccount[j] as usize != c || seen[j] == sstamp {
+                    bucket[c].swap_remove(idx); // stale or duplicate
+                    continue;
+                }
+                seen[j] = sstamp;
+                idx += 1;
+                // Examine column j: stability threshold relative to its
+                // largest active entry, Markowitz cost from row counts.
+                let colmax = acol[j].iter().fold(0.0f64, |a, &(_, v)| a.max(v.abs()));
+                let thresh = TAU * colmax;
+                let mut local: Option<(u64, u32, f64)> = None; // (cost, row, val)
+                for &(r, v) in &acol[j] {
+                    let av = v.abs();
+                    if av <= f.pivot_tol || av < thresh {
+                        continue;
+                    }
+                    let cost = (rcount[r as usize] as u64 - 1) * (c as u64 - 1);
+                    let better = match local {
+                        None => true,
+                        Some((bc, br, _)) => cost < bc || (cost == bc && r < br),
+                    };
+                    if better {
+                        local = Some((cost, r, v));
+                    }
+                }
+                examined += 1;
+                if let Some((cost, r, v)) = local {
+                    // Strictly-smaller cost wins; ties keep the earlier
+                    // candidate (lower count bucket / earlier in scan),
+                    // which is deterministic by construction.
+                    if best.as_ref().is_none_or(|&(bc, ..)| cost < bc) {
+                        best = Some((cost, j as u32, r, v));
+                    }
+                    if cost == 0 {
+                        break 'search; // fill-free pivot: optimal
+                    }
+                }
+                if examined >= MAX_SEARCH && best.is_some() {
+                    break 'search;
+                }
+            }
+        }
+        let Some((_, jp, rp, vp)) = best else {
+            return Err(FactorError::Singular { position: step });
+        };
+        let (jp, rp) = (jp as usize, rp as usize);
+
+        // --- eliminate ---------------------------------------------------
+        col_pivoted[jp] = true;
+        row_pivoted[rp] = true;
+        row_of_slot.push(rp as u32);
+        pos_of_slot.push(jp as u32);
+        udiag.push(vp);
+
+        // Pivot column → column of L (active rows only, scaled).
+        let pivcol = std::mem::take(&mut acol[jp]);
+        let mut lcol: Vec<(u32, f64)> = Vec::with_capacity(pivcol.len().saturating_sub(1));
+        for &(i, v) in &pivcol {
+            if i as usize != rp {
+                lcol.push((i, v / vp));
+                // Row i lost its entry in the pivot column.
+                rcount[i as usize] -= 1;
+            }
+        }
+        factor_nnz += lcol.len() as u64;
+
+        // Right-looking update of every active column crossing the pivot
+        // row: column j gains `-l·u` at each L entry, loses its pivot-row
+        // entry (which becomes a row-`step` entry of U).
+        let touched_cols = std::mem::take(&mut rows_cols[rp]);
+        for &jc in &touched_cols {
+            let j = jc as usize;
+            if col_pivoted[j] {
+                continue;
+            }
+            stamp += 1;
+            pattern.clear();
+            let mut u = 0.0;
+            for &(i, v) in &acol[j] {
+                if i as usize == rp {
+                    u = v;
+                } else {
+                    work[i as usize] = v;
+                    mark[i as usize] = stamp;
+                    pattern.push(i);
+                }
+            }
+            if u != 0.0 {
+                u_of_col[j].push((step as u32, u));
+                factor_nnz += 1;
+                for &(i, l) in &lcol {
+                    let ii = i as usize;
+                    if mark[ii] == stamp {
+                        work[ii] -= l * u;
+                    } else {
+                        // Fill-in: a brand-new structural entry.
+                        mark[ii] = stamp;
+                        work[ii] = -l * u;
+                        pattern.push(i);
+                        rows_cols[ii].push(jc);
+                        rcount[ii] += 1;
+                    }
+                }
+            }
+            // Gather back in pattern order (original entries then fills —
+            // deterministic), and re-bucket under the new count.
+            let mut newcol = std::mem::take(&mut acol[j]);
+            newcol.clear();
+            newcol.extend(pattern.iter().map(|&i| (i, work[i as usize])));
+            ccount[j] = newcol.len() as u32;
+            acol[j] = newcol;
+            bucket[ccount[j] as usize].push(jc);
+        }
+        lraw.push(lcol);
+    }
+
+    // --- remap into slot space and install -------------------------------
+    let mut slot_of_row = vec![0u32; m];
+    for (k, &r) in row_of_slot.iter().enumerate() {
+        slot_of_row[r as usize] = k as u32;
+    }
+    let mut slot_of_pos = vec![0u32; m];
+    for (k, &p) in pos_of_slot.iter().enumerate() {
+        slot_of_pos[p as usize] = k as u32;
+    }
+    f.lcols.clear();
+    f.lcols.extend(
+        lraw.into_iter().map(|col| {
+            col.into_iter().map(|(i, l)| (slot_of_row[i as usize], l)).collect::<Vec<_>>()
+        }),
+    );
+    f.ucols.clear();
+    f.ucols.resize(m, Vec::new());
+    for (j, ucol) in u_of_col.iter_mut().enumerate() {
+        f.ucols[slot_of_pos[j] as usize] = std::mem::take(ucol);
+    }
+    f.urows.clear();
+    f.urows.resize(m, Vec::new());
+    for s in 0..m {
+        // Split borrow: the transpose writes into rows strictly below s.
+        let (rows, cols) = (&mut f.urows, &f.ucols);
+        for &(k, u) in &cols[s] {
+            rows[k as usize].push((s as u32, u));
+        }
+    }
+    f.udiag = udiag;
+    f.perm.clear();
+    f.perm.extend(0..m as u32);
+    f.ord.clear();
+    f.ord.extend(0..m as u32);
+    f.row_of_slot = row_of_slot;
+    f.slot_of_row = slot_of_row;
+    f.pos_of_slot = pos_of_slot;
+    f.slot_of_pos = slot_of_pos;
+    f.etas.clear();
+    f.updates = 0;
+    f.stats.refactors += 1;
+    f.stats.basis_nnz += basis_nnz;
+    f.stats.factor_nnz += factor_nnz;
+    Ok(())
+}

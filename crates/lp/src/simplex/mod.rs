@@ -72,7 +72,7 @@ impl Default for SimplexOptions {
             opt_tol: 1e-8,
             pivot_tol: 1e-9,
             max_iterations: 0,
-            refactor_every: 96,
+            refactor_every: basis::DEFAULT_MAX_ETAS,
             bland_trigger: 1000,
             pricing: Pricing::default(),
         }
@@ -222,6 +222,7 @@ fn finish_solution(model: &Model, problem: &Problem, outcome: &solver::Outcome) 
         iterations: outcome.iterations,
         pricing_scans: outcome.pricing_scans,
         bland_pivots: outcome.bland_pivots,
+        factor_stats: outcome.factor_stats,
     }
 }
 

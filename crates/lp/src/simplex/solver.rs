@@ -6,7 +6,7 @@
 //! phase 2 the true cost vector. Anti-cycling falls back to Bland's rule
 //! after a run of degenerate pivots.
 
-use super::basis::{FactorError, Factorization};
+use super::basis::{FactorError, FactorStats, Factorization};
 use super::{Pricing, Problem, SimplexOptions};
 use crate::solution::SolveError;
 
@@ -41,6 +41,8 @@ pub(crate) struct Outcome {
     pub pricing_scans: u64,
     /// Iterations priced under the Bland's-rule anti-cycling fallback.
     pub bland_pivots: u64,
+    /// Basis-factorization counters accumulated over the solve.
+    pub factor_stats: FactorStats,
 }
 
 impl Outcome {
@@ -231,6 +233,7 @@ pub(crate) fn run(
         nb: st.nb,
         pricing_scans: st.scans,
         bland_pivots: st.bland_pivots,
+        factor_stats: st.factor.stats(),
     })
 }
 
@@ -360,6 +363,7 @@ pub(crate) fn run_warm(
             nb: st.nb,
             pricing_scans: st.scans,
             bland_pivots: st.bland_pivots,
+            factor_stats: st.factor.stats(),
         },
         used_dual,
     ))
@@ -484,7 +488,7 @@ impl<'a> State<'a> {
                 // Simplex multipliers y = c_B B⁻¹.
                 self.cb.clear();
                 self.cb.extend(self.basis.iter().map(|&k| cost[k]));
-                let (factor, cb, y) = (&self.factor, &self.cb, &mut self.y);
+                let (factor, cb, y) = (&mut self.factor, &self.cb, &mut self.y);
                 factor.btran(cb, y);
             }
             let bland = self.degenerate_run > self.opts.bland_trigger;
@@ -585,7 +589,7 @@ impl<'a> State<'a> {
         self.cb.clear();
         self.cb.extend(self.basis.iter().map(|&k| cost[k]));
         {
-            let (factor, cb, y) = (&self.factor, &self.cb, &mut self.y);
+            let (factor, cb, y) = (&mut self.factor, &self.cb, &mut self.y);
             factor.btran(cb, y);
         }
         for (j, &cj) in cost.iter().enumerate().take(self.p.n) {
@@ -683,7 +687,7 @@ impl<'a> State<'a> {
         let theta_d = self.d[q] / alpha_q;
         self.e_r[position] = 1.0;
         {
-            let (factor, e_r, rho) = (&self.factor, &self.e_r, &mut self.rho);
+            let (factor, e_r, rho) = (&mut self.factor, &self.e_r, &mut self.rho);
             factor.btran(e_r, rho);
         }
         self.e_r[position] = 0.0;
@@ -913,7 +917,7 @@ impl<'a> State<'a> {
         self.cb.clear();
         self.cb.extend(self.basis.iter().map(|&k| cost[k]));
         {
-            let (factor, cb, y) = (&self.factor, &self.cb, &mut self.y);
+            let (factor, cb, y) = (&mut self.factor, &self.cb, &mut self.y);
             factor.btran(cb, y);
         }
         let tol = self.opts.opt_tol;
@@ -981,7 +985,7 @@ impl<'a> State<'a> {
             // sparse pivot-row pass materializes exactly the nonzero alphas.
             self.e_r[r] = 1.0;
             {
-                let (factor, e_r, rho) = (&self.factor, &self.e_r, &mut self.rho);
+                let (factor, e_r, rho) = (&mut self.factor, &self.e_r, &mut self.rho);
                 factor.btran(e_r, rho);
             }
             self.e_r[r] = 0.0;
@@ -990,7 +994,7 @@ impl<'a> State<'a> {
             self.cb.clear();
             self.cb.extend(self.basis.iter().map(|&b| cost[b]));
             {
-                let (factor, cb, y) = (&self.factor, &self.cb, &mut self.y);
+                let (factor, cb, y) = (&mut self.factor, &self.cb, &mut self.y);
                 factor.btran(cb, y);
             }
             let bland = self.degenerate_run > self.opts.bland_trigger;

@@ -2,6 +2,7 @@
 
 use crate::expr::Var;
 use crate::model::RowId;
+use crate::simplex::basis::FactorStats;
 use std::fmt;
 
 /// Termination status of a solve.
@@ -63,6 +64,7 @@ pub struct Solution {
     pub(crate) iterations: u64,
     pub(crate) pricing_scans: u64,
     pub(crate) bland_pivots: u64,
+    pub(crate) factor_stats: FactorStats,
 }
 
 impl Solution {
@@ -120,5 +122,12 @@ impl Solution {
     /// Iterations priced under the Bland's-rule anti-cycling fallback.
     pub fn bland_pivots(&self) -> u64 {
         self.bland_pivots
+    }
+
+    /// Basis-factorization counters (refactorizations, fill-in,
+    /// Forrest–Tomlin updates, pivot rejections) accumulated over the
+    /// solve.
+    pub fn factor_stats(&self) -> FactorStats {
+        self.factor_stats
     }
 }

@@ -143,6 +143,84 @@ fn colgen_runs_are_bit_identical_across_job_counts() {
 }
 
 #[test]
+fn sparse_lu_cadence_is_deterministic_and_tolerance_bounded() {
+    // The sparse-LU kernel's refactor cadence (`max_etas`) changes which
+    // floating-point path each solve takes, so two contracts apply:
+    //
+    // 1. **Within a cadence**: the worker count stays a pure wall-clock
+    //    knob — `ra_jobs` 1 vs 8 must agree bitwise, including the new
+    //    factorization counters (refactors, FT updates, fill-in nnz).
+    // 2. **Across cadences**: objectives are NOT bit-identical (different
+    //    roundoff), but every delivered/payment total must agree within
+    //    `CADENCE_TOL = 1e-6` relative — the solver certifies optima to
+    //    `opt_tol = 1e-8` on O(1)-scaled reduced costs, and tiny-scenario
+    //    totals are O(100), so 1e-6 relative bounds the optimum gap with
+    //    margin. A violation means a cadence-dependent *logic* change, not
+    //    roundoff.
+    const CADENCE_TOL: f64 = 1e-6;
+    let sc = ScenarioConfig::tiny(rand::DEFAULT_SEED).build();
+    let mk = |ra_jobs: usize, max_etas: usize| {
+        let cfg = PretiumConfig {
+            ra_jobs,
+            max_etas,
+            colgen: ColumnGen::on(),
+            ..PretiumConfig::default()
+        };
+        run_pretium(&sc, cfg, Variant::Full).expect("sparse-lu run")
+    };
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+
+    // Contract 1: bitwise across job counts, per cadence.
+    let mut per_cadence = Vec::new();
+    for &max_etas in &[1usize, 8, 0] {
+        let one = mk(1, max_etas);
+        let eight = mk(8, max_etas);
+        assert_eq!(
+            bits(&one.outcome.delivered),
+            bits(&eight.outcome.delivered),
+            "deliveries diverged across ra_jobs at max_etas={max_etas}"
+        );
+        assert_eq!(bits(&one.outcome.payments), bits(&eight.outcome.payments));
+        assert_eq!(one.outcome.admitted, eight.outcome.admitted);
+        assert_eq!(one.lp_stats, eight.lp_stats, "factor counters diverged at {max_etas}");
+        per_cadence.push((max_etas, one));
+    }
+
+    // The cadences genuinely differ in kernel behavior (else this test
+    // pins three identical runs): tighter cadence ⇒ at least as many
+    // refactorizations, and the default accumulates real FT updates.
+    let stats = |i: usize| per_cadence[i].1.lp_stats;
+    assert!(
+        stats(0).refactors > stats(2).refactors,
+        "max_etas=1 should refactorize more than the default: {:?} vs {:?}",
+        stats(0),
+        stats(2)
+    );
+    assert!(stats(2).ft_updates > 0, "default cadence applied no FT updates");
+    assert!(stats(2).refactors > 0 && stats(2).factor_nnz >= stats(2).basis_nnz);
+
+    // Contract 2: across cadences, totals agree to CADENCE_TOL relative.
+    let (_, base) = &per_cadence[2];
+    for (max_etas, run) in &per_cadence[..2] {
+        for (d, b) in run.outcome.delivered.iter().zip(&base.outcome.delivered) {
+            assert!(
+                (d - b).abs() <= CADENCE_TOL * (1.0 + b.abs()),
+                "delivery gap {} at max_etas={max_etas}",
+                (d - b).abs()
+            );
+        }
+        for (p, b) in run.outcome.payments.iter().zip(&base.outcome.payments) {
+            assert!(
+                (p - b).abs() <= CADENCE_TOL * (1.0 + b.abs()),
+                "payment gap {} at max_etas={max_etas}",
+                (p - b).abs()
+            );
+        }
+        assert_eq!(run.outcome.admitted, base.outcome.admitted, "admissions flipped");
+    }
+}
+
+#[test]
 fn reseeding_changes_the_world_but_stays_deterministic() {
     // Guard against the engine accidentally hashing worker identity or
     // completion order into the seed: a different run seed must change
