@@ -170,6 +170,13 @@ pub struct PretiumConfig {
     /// across settings only to solver tolerance (see the determinism
     /// suite's documented contract), not bit-exactly.
     pub max_etas: usize,
+    /// Worker threads for the deterministic parallel-pricing layer, for
+    /// every LP Pretium solves *and* the colgen oracle's job-block pricing.
+    /// 1 (the default) runs the exact serial path; >1 fans candidate
+    /// scoring out over a work-stealing pool in fixed, size-derived
+    /// sections reduced in section order, so — unlike [`Self::max_etas`] —
+    /// any setting is **bit-identical** to serial (DESIGN.md §19).
+    pub pricing_jobs: usize,
 }
 
 impl Default for PretiumConfig {
@@ -194,6 +201,7 @@ impl Default for PretiumConfig {
             sam_full_every: 16,
             colgen: ColumnGen::Off,
             max_etas: 0,
+            pricing_jobs: 1,
         }
     }
 }
@@ -222,6 +230,9 @@ mod tests {
         // Colgen is opt-in; On defaults to 50 pricing rounds and a
         // single-path seed.
         assert_eq!(c.colgen, ColumnGen::Off);
+        // Pricing parallelism defaults to the serial path; >1 is opt-in
+        // and bit-identical by the section-ordered reduction contract.
+        assert_eq!(c.pricing_jobs, 1);
         assert_eq!(ColumnGen::on().max_rounds(), 50);
         assert_eq!(ColumnGen::on().seed_paths(), 1);
         assert_eq!(ColumnGen::On { max_rounds: 7, seed_paths: 2 }.max_rounds(), 7);

@@ -15,7 +15,7 @@ use crate::menu::{build_menu, PriceMenu};
 use crate::schedule::{self, Job, ScheduleProblem, ScheduleSession};
 use crate::state::NetworkState;
 use crate::telemetry::Telemetry;
-use pretium_lp::{SessionStats, SimplexOptions, SolveError, SolveOptions};
+use pretium_lp::{SessionStats, SimplexOptions, SolveError, SolveOptions, SolverTuning};
 use pretium_net::{EdgeId, Network, Path, SharedPathSet, TimeGrid, Timestep, UsageTracker};
 use rand::{DetHashMap as HashMap, DetHashSet as HashSet};
 use std::sync::Arc;
@@ -299,7 +299,11 @@ impl Pretium {
                 pricing: self.cfg.pricing,
                 ..SimplexOptions::default()
             }),
-            max_etas: self.cfg.max_etas,
+            tuning: SolverTuning {
+                max_etas: self.cfg.max_etas,
+                pricing_jobs: self.cfg.pricing_jobs,
+                ..SolverTuning::default()
+            },
             ..SolveOptions::default()
         }
     }
@@ -747,6 +751,10 @@ impl Pretium {
             lp_after.pivot_rejections - lp_before.pivot_rejections;
         self.telemetry.lp_basis_nnz += lp_after.basis_nnz - lp_before.basis_nnz;
         self.telemetry.lp_factor_nnz += lp_after.factor_nnz - lp_before.factor_nnz;
+        self.telemetry.lp_pricing_par_sections +=
+            lp_after.pricing_par_sections - lp_before.pricing_par_sections;
+        self.telemetry.lp_pricing_par_steals +=
+            lp_after.pricing_par_steals - lp_before.pricing_par_steals;
         // The installed plans now reflect every capacity change reported so
         // far; start accumulating touched edges for the next step.
         self.sam_touched = Some(HashSet::default());
@@ -876,6 +884,8 @@ impl Pretium {
         self.telemetry.lp_pivot_rejections += sol.lp_stats.pivot_rejections;
         self.telemetry.lp_basis_nnz += sol.lp_stats.basis_nnz;
         self.telemetry.lp_factor_nnz += sol.lp_stats.factor_nnz;
+        self.telemetry.lp_pricing_par_sections += sol.lp_stats.pricing_par_sections;
+        self.telemetry.lp_pricing_par_steals += sol.lp_stats.pricing_par_steals;
         // Reference window: the pattern carried into the future.
         self.bump_epoch();
         let ref_start = self.grid.window_start(w_now - back);

@@ -214,6 +214,14 @@ pub struct Telemetry {
     /// Cumulative nonzeros of the L/U factors produced;
     /// `lp_factor_nnz / lp_basis_nnz` is the run's fill-in ratio.
     pub lp_factor_nnz: u64,
+    /// Sections executed by the deterministic parallel-pricing layer
+    /// (simplex pricing sweeps plus the colgen oracle's job-block
+    /// fan-out); 0 when `pricing_jobs <= 1`. Deterministic per
+    /// configuration.
+    pub lp_pricing_par_sections: u64,
+    /// Parallel-pricing sections claimed by a worker other than the one
+    /// they were seeded on — a load-balance diagnostic; timing-dependent.
+    pub lp_pricing_par_steals: u64,
 }
 
 impl Telemetry {
@@ -258,6 +266,8 @@ impl Telemetry {
             ("lp refactors".into(), self.lp_refactors.to_string()),
             ("lp ft updates".into(), self.lp_ft_updates.to_string()),
             ("lp pivot rejections".into(), self.lp_pivot_rejections.to_string()),
+            ("lp pricing par sections".into(), self.lp_pricing_par_sections.to_string()),
+            ("lp pricing par steals".into(), self.lp_pricing_par_steals.to_string()),
             (
                 "lp fill-in ratio".into(),
                 format!("{:.3}", self.lp_factor_nnz as f64 / self.lp_basis_nnz.max(1) as f64),
@@ -324,7 +334,7 @@ mod tests {
     fn rows_cover_every_counter() {
         let t = Telemetry::default();
         let rows = t.rows();
-        assert_eq!(rows.len(), 31);
+        assert_eq!(rows.len(), 33);
         assert!(rows.iter().any(|(k, _)| k == "sam localized"));
         assert!(rows.iter().any(|(k, _)| k == "lp refactors"));
         assert!(rows.iter().any(|(k, _)| k == "lp ft updates"));
@@ -342,5 +352,7 @@ mod tests {
         assert!(rows.iter().any(|(k, _)| k == "pc freezes"));
         assert!(rows.iter().any(|(k, _)| k == "lp iterations"));
         assert!(rows.iter().any(|(k, _)| k == "lp pricing scans"));
+        assert!(rows.iter().any(|(k, _)| k == "lp pricing par sections"));
+        assert!(rows.iter().any(|(k, _)| k == "lp pricing par steals"));
     }
 }

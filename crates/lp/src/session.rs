@@ -58,6 +58,31 @@ pub const DEFAULT_MAX_ROUNDS: u32 = 50;
 /// [`SolveOptions::restricted_basis_cache`] is 0.
 pub const DEFAULT_RESTRICTED_BASIS_CACHE: usize = 8;
 
+/// Grouped solver-tuning knobs shared by every solve path ([`SolverSession::solve`],
+/// [`SolverSession::solve_restricted`], and the generation loops). Every
+/// field follows the crate's `0 selects the default` convention, so the
+/// all-zero [`SolverTuning::default`] changes nothing — callers override
+/// only the knobs they care about and `..Default::default()` the rest.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverTuning {
+    /// Capacity of [`SolverSession::solve_restricted`]'s freeze-pattern
+    /// warm-basis LRU; `0` selects [`DEFAULT_RESTRICTED_BASIS_CACHE`].
+    pub restricted_basis_cache: usize,
+    /// Forrest–Tomlin updates a basis factorization accumulates before
+    /// refactorizing; `0` inherits `refactor_every` from the effective
+    /// simplex options (whose default is
+    /// [`crate::simplex::basis::DEFAULT_MAX_ETAS`]), a nonzero value
+    /// overrides it for this solve.
+    pub max_etas: usize,
+    /// Worker threads for the simplex's deterministic parallel-pricing
+    /// layer; `0` inherits [`SimplexOptions::pricing_jobs`] from the
+    /// effective simplex options (default 1, the serial path), a nonzero
+    /// value overrides it. Restricted sub-solves inherit the resolved
+    /// value through the same effective-options path as top-level solves.
+    /// Any value produces bitwise-identical solves (DESIGN.md §19).
+    pub pricing_jobs: usize,
+}
+
 /// Options for one [`SolverSession::solve`] call.
 #[derive(Debug, Clone, Default)]
 pub struct SolveOptions {
@@ -69,15 +94,10 @@ pub struct SolveOptions {
     /// [`SolverSession::solve_lazy`] / [`SolverSession::solve_colgen`];
     /// `0` selects [`DEFAULT_MAX_ROUNDS`].
     pub max_rounds: u32,
-    /// Capacity of [`SolverSession::solve_restricted`]'s freeze-pattern
-    /// warm-basis LRU; `0` selects [`DEFAULT_RESTRICTED_BASIS_CACHE`].
-    pub restricted_basis_cache: usize,
-    /// Forrest–Tomlin updates a basis factorization accumulates before
-    /// refactorizing; `0` inherits `refactor_every` from the effective
-    /// simplex options (whose default is
-    /// [`crate::simplex::basis::DEFAULT_MAX_ETAS`]), a nonzero value
-    /// overrides it for this solve.
-    pub max_etas: usize,
+    /// Grouped tuning knobs (basis-cache capacity, refactorization cadence,
+    /// pricing parallelism); the all-zero default leaves every knob at its
+    /// built-in default.
+    pub tuning: SolverTuning,
 }
 
 impl SolveOptions {
@@ -118,7 +138,14 @@ impl Mutations {
 }
 
 /// Restart counters accumulated over the session's lifetime.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+///
+/// Equality compares only the *deterministic* counters: steal counts and
+/// the serial/parallel wall-clock split depend on thread scheduling and
+/// timer resolution, so they are excluded from `PartialEq` — two runs of
+/// the same configuration compare equal even though their timing fields
+/// differ. Section counts stay in the comparison; they derive from range
+/// sizes alone and are reproducible.
+#[derive(Debug, Clone, Copy, Default)]
 pub struct SessionStats {
     /// Total solves (lazy rounds count individually).
     pub solves: u64,
@@ -159,7 +186,47 @@ pub struct SessionStats {
     /// FT updates rejected on a too-small new diagonal (each forces a
     /// refactorization).
     pub pivot_rejections: u64,
+    /// Sections executed by the deterministic parallel-pricing layer
+    /// (simplex pricing sweeps plus any scheduler-side fan-out folded in
+    /// via [`SolverSession::note_parallel_pricing`]). Deterministic for a
+    /// fixed configuration.
+    pub pricing_par_sections: u64,
+    /// Parallel-pricing sections claimed by a worker other than the one
+    /// they were seeded on. Timing-dependent; excluded from equality.
+    pub pricing_par_steals: u64,
+    /// Wall-clock nanoseconds of pricing invocations that ran the serial
+    /// path. Timing-dependent; excluded from equality.
+    pub pricing_serial_nanos: u64,
+    /// Wall-clock nanoseconds of pricing invocations that fanned out over
+    /// the worker pool. Timing-dependent; excluded from equality.
+    pub pricing_par_nanos: u64,
 }
+
+impl PartialEq for SessionStats {
+    fn eq(&self, other: &Self) -> bool {
+        // Every counter except the timing-dependent trio (steals + the two
+        // wall-clock buckets); see the type-level docs.
+        self.solves == other.solves
+            && self.cold_starts == other.cold_starts
+            && self.warm_primal == other.warm_primal
+            && self.warm_dual == other.warm_dual
+            && self.iterations == other.iterations
+            && self.pricing_scans == other.pricing_scans
+            && self.bland_pivots == other.bland_pivots
+            && self.cache_hits == other.cache_hits
+            && self.restricted == other.restricted
+            && self.columns_generated == other.columns_generated
+            && self.colgen_rounds == other.colgen_rounds
+            && self.refactors == other.refactors
+            && self.basis_nnz == other.basis_nnz
+            && self.factor_nnz == other.factor_nnz
+            && self.ft_updates == other.ft_updates
+            && self.pivot_rejections == other.pivot_rejections
+            && self.pricing_par_sections == other.pricing_par_sections
+    }
+}
+
+impl Eq for SessionStats {}
 
 impl SessionStats {
     fn record(&mut self, restart: Restart, solution: &Solution) {
@@ -167,6 +234,10 @@ impl SessionStats {
         self.iterations += solution.iterations();
         self.pricing_scans += solution.pricing_scans();
         self.bland_pivots += solution.bland_pivots();
+        self.pricing_par_sections += solution.pricing_par_sections();
+        self.pricing_par_steals += solution.pricing_par_steals();
+        self.pricing_serial_nanos += solution.pricing_serial_nanos();
+        self.pricing_par_nanos += solution.pricing_par_nanos();
         self.record_factor(solution.factor_stats());
         match restart {
             Restart::Cold => self.cold_starts += 1,
@@ -210,6 +281,10 @@ impl SessionStats {
         self.factor_nnz += other.factor_nnz;
         self.ft_updates += other.ft_updates;
         self.pivot_rejections += other.pivot_rejections;
+        self.pricing_par_sections += other.pricing_par_sections;
+        self.pricing_par_steals += other.pricing_par_steals;
+        self.pricing_serial_nanos += other.pricing_serial_nanos;
+        self.pricing_par_nanos += other.pricing_par_nanos;
     }
 
     /// Labelled counter rows for table rendering (`(label, value)`), in a
@@ -230,6 +305,16 @@ impl SessionStats {
             ("refactors".into(), self.refactors.to_string()),
             ("ft updates".into(), self.ft_updates.to_string()),
             ("pivot rejections".into(), self.pivot_rejections.to_string()),
+            ("pricing par sections".into(), self.pricing_par_sections.to_string()),
+            ("pricing par steals".into(), self.pricing_par_steals.to_string()),
+            (
+                "pricing wall serial/par".into(),
+                format!(
+                    "{:.1}ms / {:.1}ms",
+                    self.pricing_serial_nanos as f64 / 1e6,
+                    self.pricing_par_nanos as f64 / 1e6
+                ),
+            ),
             (
                 "fill-in ratio".into(),
                 format!("{:.3}", self.factor_nnz as f64 / self.basis_nnz.max(1) as f64),
@@ -340,6 +425,25 @@ impl SolverSession {
     /// Lifetime restart counters.
     pub fn stats(&self) -> SessionStats {
         self.stats
+    }
+
+    /// Fold externally measured parallel-pricing counters into the
+    /// session's stats. This is the hook for callers that run their own
+    /// deterministic pricing fan-out *around* the session — the
+    /// scheduler's column-generation oracle prices job blocks over the
+    /// same sectioned pool — so all pricing parallelism reports through
+    /// one set of telemetry rows.
+    pub fn note_parallel_pricing(
+        &mut self,
+        sections: u64,
+        steals: u64,
+        serial_nanos: u64,
+        par_nanos: u64,
+    ) {
+        self.stats.pricing_par_sections += sections;
+        self.stats.pricing_par_steals += steals;
+        self.stats.pricing_serial_nanos += serial_nanos;
+        self.stats.pricing_par_nanos += par_nanos;
     }
 
     /// True when a basis from a previous solve is available for warm
@@ -479,12 +583,16 @@ impl SolverSession {
     // --- solving ----------------------------------------------------------
 
     /// The simplex options a solve under `opts` actually runs with: the
-    /// per-call override (or the model's stored options), with a nonzero
-    /// [`SolveOptions::max_etas`] substituted for `refactor_every`.
+    /// per-call override (or the model's stored options), with each nonzero
+    /// [`SolverTuning`] knob substituted in (`max_etas` → `refactor_every`,
+    /// `pricing_jobs` → `pricing_jobs`).
     fn effective_simplex(&self, opts: &SolveOptions) -> SimplexOptions {
         let mut simplex = opts.simplex.clone().unwrap_or_else(|| self.model.options().clone());
-        if opts.max_etas != 0 {
-            simplex.refactor_every = opts.max_etas;
+        if opts.tuning.max_etas != 0 {
+            simplex.refactor_every = opts.tuning.max_etas;
+        }
+        if opts.tuning.pricing_jobs != 0 {
+            simplex.pricing_jobs = opts.tuning.pricing_jobs;
         }
         simplex
     }
@@ -632,10 +740,10 @@ impl SolverSession {
         if let Some(slot) = self.restricted_bases.iter_mut().find(|(k, _)| *k == key) {
             slot.1 = sub_basis;
         } else {
-            let cap = if opts.restricted_basis_cache == 0 {
+            let cap = if opts.tuning.restricted_basis_cache == 0 {
                 DEFAULT_RESTRICTED_BASIS_CACHE
             } else {
-                opts.restricted_basis_cache
+                opts.tuning.restricted_basis_cache
             };
             while self.restricted_bases.len() >= cap {
                 self.restricted_bases.remove(0);
@@ -646,6 +754,10 @@ impl SolverSession {
         self.stats.iterations += sub_sol.iterations();
         self.stats.pricing_scans += sub_sol.pricing_scans();
         self.stats.bland_pivots += sub_sol.bland_pivots();
+        self.stats.pricing_par_sections += sub_sol.pricing_par_sections();
+        self.stats.pricing_par_steals += sub_sol.pricing_par_steals();
+        self.stats.pricing_serial_nanos += sub_sol.pricing_serial_nanos();
+        self.stats.pricing_par_nanos += sub_sol.pricing_par_nanos();
         self.stats.record_factor(sub_sol.factor_stats());
 
         // Assemble the parent-shaped composite.
@@ -821,6 +933,10 @@ impl SolverSession {
             iterations: sub_sol.iterations,
             pricing_scans: sub_sol.pricing_scans,
             bland_pivots: sub_sol.bland_pivots,
+            pricing_par_sections: sub_sol.pricing_par_sections,
+            pricing_par_steals: sub_sol.pricing_par_steals,
+            pricing_serial_nanos: sub_sol.pricing_serial_nanos,
+            pricing_par_nanos: sub_sol.pricing_par_nanos,
             factor_stats: sub_sol.factor_stats,
         };
         if certified {
@@ -1290,7 +1406,10 @@ mod tests {
         // A tiny max_etas forces refactorization every iteration — the
         // solve must still reach the same certified optimum.
         let (mut s, _x, _y, _r1, _r2) = toy();
-        let opts = SolveOptions { max_etas: 1, ..Default::default() };
+        let opts = SolveOptions {
+            tuning: SolverTuning { max_etas: 1, ..Default::default() },
+            ..Default::default()
+        };
         let sol = s.solve(&opts).unwrap();
         assert!((sol.objective() - 12.0).abs() < 1e-7);
         // And the default (0) leaves the model's cadence untouched.
@@ -1350,13 +1469,37 @@ mod tests {
         // proving the override reaches the kernel (not just the options).
         let tight = run(1);
         assert!(tight.1 >= zero.1, "cadence 1 refactors at least as often");
+
+        // `pricing_jobs` rides the same inheritance path: restricted
+        // sub-solves pick it up through `effective_simplex`, zero resolves
+        // to the serial default, and any worker count must reproduce the
+        // serial objective bitwise (the parallel layer reduces in section
+        // order — DESIGN.md §19).
+        let par = |jobs: usize| {
+            let (mut s, a, _b, _da, db, _shared) = coupled();
+            let sol = s.solve(&SolveOptions::default()).unwrap();
+            s.set_rhs(db, 3.0);
+            let opts = SolveOptions {
+                tuning: SolverTuning { pricing_jobs: jobs, ..Default::default() },
+                ..Default::default()
+            };
+            let eff = s.effective_simplex(&opts);
+            assert_eq!(eff.pricing_jobs, if jobs == 0 { 1 } else { jobs });
+            let out = s.solve_restricted(&[(a, sol.value(a))], 1e-7, &opts).unwrap();
+            assert!(out.certified);
+            out.solution.objective().to_bits()
+        };
+        assert_eq!(par(0), par(8));
     }
 
     #[test]
     fn restricted_basis_cache_capacity_is_configurable() {
         let (mut s, a, _b, _da, db, _shared) = coupled();
         let sol = s.solve(&SolveOptions::default()).unwrap();
-        let opts = SolveOptions { restricted_basis_cache: 1, ..Default::default() };
+        let opts = SolveOptions {
+            tuning: SolverTuning { restricted_basis_cache: 1, ..Default::default() },
+            ..Default::default()
+        };
         // Two distinct freeze patterns under capacity 1: the LRU holds at
         // most one terminal basis.
         s.set_rhs(db, 3.0);

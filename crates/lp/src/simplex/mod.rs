@@ -63,6 +63,14 @@ pub struct SimplexOptions {
     pub bland_trigger: u32,
     /// Entering-variable pricing strategy.
     pub pricing: Pricing,
+    /// Worker threads for the deterministic parallel-pricing layer: the
+    /// incremental strategies' reduced-cost recompute, Devex weight
+    /// refresh, and section sweeps fan out over `pretium-par`'s sectioned
+    /// map when this exceeds 1. Sections are fixed and size-derived, and
+    /// results reduce in section order, so any value produces bitwise the
+    /// same solve as the serial path (DESIGN.md §19). `0` and `1` both run
+    /// the exact serial code with no thread machinery.
+    pub pricing_jobs: usize,
 }
 
 impl Default for SimplexOptions {
@@ -75,6 +83,7 @@ impl Default for SimplexOptions {
             refactor_every: basis::DEFAULT_MAX_ETAS,
             bland_trigger: 1000,
             pricing: Pricing::default(),
+            pricing_jobs: 1,
         }
     }
 }
@@ -222,6 +231,10 @@ fn finish_solution(model: &Model, problem: &Problem, outcome: &solver::Outcome) 
         iterations: outcome.iterations,
         pricing_scans: outcome.pricing_scans,
         bland_pivots: outcome.bland_pivots,
+        pricing_par_sections: outcome.pricing_par_sections,
+        pricing_par_steals: outcome.pricing_par_steals,
+        pricing_serial_nanos: outcome.pricing_serial_nanos,
+        pricing_par_nanos: outcome.pricing_par_nanos,
         factor_stats: outcome.factor_stats,
     }
 }

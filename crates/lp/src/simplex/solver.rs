@@ -9,6 +9,8 @@
 use super::basis::{FactorError, FactorStats, Factorization};
 use super::{Pricing, Problem, SimplexOptions};
 use crate::solution::SolveError;
+use pretium_par as par;
+use std::time::Instant;
 
 /// Row-major view of the structural matrix: for each row, its
 /// `(column, coefficient)` terms sorted by column. Slack and artificial
@@ -41,6 +43,18 @@ pub(crate) struct Outcome {
     pub pricing_scans: u64,
     /// Iterations priced under the Bland's-rule anti-cycling fallback.
     pub bland_pivots: u64,
+    /// Sections executed by the deterministic parallel-pricing primitive
+    /// (`pricing_jobs > 1` only; the serial path never touches it).
+    pub pricing_par_sections: u64,
+    /// Parallel-pricing sections that ran on a worker which stole them
+    /// from a sibling's deque. Timing-dependent; never deterministic.
+    pub pricing_par_steals: u64,
+    /// Wall clock spent in the incremental pricing routines on the serial
+    /// path, in nanoseconds.
+    pub pricing_serial_nanos: u64,
+    /// Wall clock spent in the incremental pricing routines on the
+    /// parallel path, in nanoseconds.
+    pub pricing_par_nanos: u64,
     /// Basis-factorization counters accumulated over the solve.
     pub factor_stats: FactorStats,
 }
@@ -116,6 +130,40 @@ struct State<'a> {
     // --- counters ---------------------------------------------------------
     scans: u64,
     bland_pivots: u64,
+    par_sections: u64,
+    par_steals: u64,
+    serial_pricing_nanos: u64,
+    par_pricing_nanos: u64,
+}
+
+/// Read-only view of the pricing state, small enough to hand to the
+/// sectioned parallel map: workers judge eligibility and Devex scores from
+/// shared slices only, never seeing the `&mut Problem` or the
+/// factorization the full [`State`] carries.
+struct PriceView<'b> {
+    d: &'b [f64],
+    gamma: &'b [f64],
+    pos_of: &'b [i32],
+    nb: &'b [NbState],
+    in_cands: &'b [bool],
+    lb: &'b [f64],
+    ub: &'b [f64],
+    tol: f64,
+}
+
+impl PriceView<'_> {
+    /// Mirror of [`State::eligible`] over the shared slices.
+    fn eligible(&self, j: usize) -> bool {
+        if self.pos_of[j] >= 0 || self.lb[j] == self.ub[j] {
+            return false;
+        }
+        let d = self.d[j];
+        match self.nb[j] {
+            NbState::Lower => d < -self.tol,
+            NbState::Upper => d > self.tol,
+            NbState::Free => d.abs() > self.tol,
+        }
+    }
 }
 
 const ZTOL: f64 = 1e-11;
@@ -233,6 +281,10 @@ pub(crate) fn run(
         nb: st.nb,
         pricing_scans: st.scans,
         bland_pivots: st.bland_pivots,
+        pricing_par_sections: st.par_sections,
+        pricing_par_steals: st.par_steals,
+        pricing_serial_nanos: st.serial_pricing_nanos,
+        pricing_par_nanos: st.par_pricing_nanos,
         factor_stats: st.factor.stats(),
     })
 }
@@ -363,6 +415,10 @@ pub(crate) fn run_warm(
             nb: st.nb,
             pricing_scans: st.scans,
             bland_pivots: st.bland_pivots,
+            pricing_par_sections: st.par_sections,
+            pricing_par_steals: st.par_steals,
+            pricing_serial_nanos: st.serial_pricing_nanos,
+            pricing_par_nanos: st.par_pricing_nanos,
             factor_stats: st.factor.stats(),
         },
         used_dual,
@@ -420,6 +476,41 @@ impl<'a> State<'a> {
             stamp: 0,
             scans: 0,
             bland_pivots: 0,
+            par_sections: 0,
+            par_steals: 0,
+            serial_pricing_nanos: 0,
+            par_pricing_nanos: 0,
+        }
+    }
+
+    /// Shared-slice view for parallel pricing workers.
+    fn view(&self) -> PriceView<'_> {
+        PriceView {
+            d: &self.d,
+            gamma: &self.gamma,
+            pos_of: &self.pos_of,
+            nb: &self.nb,
+            in_cands: &self.in_cands,
+            lb: &self.p.lb,
+            ub: &self.p.ub,
+            tol: self.opts.opt_tol,
+        }
+    }
+
+    /// Fold one sectioned run's section/steal counters into the solve's.
+    fn note_par_stats(&mut self, stats: par::ParStats) {
+        self.par_sections += stats.sections;
+        self.par_steals += stats.steals;
+    }
+
+    /// Attribute one pricing call's wall clock to the serial or parallel
+    /// bucket, depending on which path actually ran.
+    fn note_pricing_wall(&mut self, t0: Instant, parallel: bool) {
+        let nanos = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        if parallel {
+            self.par_pricing_nanos += nanos;
+        } else {
+            self.serial_pricing_nanos += nanos;
         }
     }
 
@@ -584,6 +675,12 @@ impl<'a> State<'a> {
     /// Full pricing reset for the incremental strategies: recompute
     /// `y = c_B B⁻¹` and every reduced cost exactly, and reset the Devex
     /// reference framework (all weights back to 1) and the candidate list.
+    ///
+    /// With `pricing_jobs > 1` the reduced-cost recompute and the weight
+    /// refresh fan out over the sectioned parallel map: each worker owns a
+    /// disjoint `d`/`gamma` chunk, and each `d[j]` is the same per-column
+    /// sequential dot product as the serial loop — no accumulation crosses
+    /// a section boundary, so the result is bitwise identical.
     fn reprice(&mut self, cost: &[f64]) {
         self.ensure_scratch();
         self.cb.clear();
@@ -592,21 +689,44 @@ impl<'a> State<'a> {
             let (factor, cb, y) = (&mut self.factor, &self.cb, &mut self.y);
             factor.btran(cb, y);
         }
-        for (j, &cj) in cost.iter().enumerate().take(self.p.n) {
-            let mut d = cj;
-            for &(i, v) in &self.p.cols[j] {
-                d -= self.y[i as usize] * v;
+        let t0 = Instant::now();
+        let jobs = self.opts.pricing_jobs;
+        let n = self.p.n;
+        let parallel = jobs > 1 && par::section_count(n) > 1;
+        if parallel {
+            let (p, y) = (&*self.p, &self.y);
+            let mut stats = par::for_each_section(&mut self.d, jobs, |_, start, chunk| {
+                for (off, slot) in chunk.iter_mut().enumerate() {
+                    let j = start + off;
+                    let mut d = cost[j];
+                    for &(i, v) in &p.cols[j] {
+                        d -= y[i as usize] * v;
+                    }
+                    *slot = d;
+                }
+            });
+            stats.merge(par::for_each_section(&mut self.gamma, jobs, |_, _, chunk| {
+                chunk.fill(1.0);
+            }));
+            self.note_par_stats(stats);
+        } else {
+            for (j, &cj) in cost.iter().enumerate().take(n) {
+                let mut d = cj;
+                for &(i, v) in &self.p.cols[j] {
+                    d -= self.y[i as usize] * v;
+                }
+                self.d[j] = d;
             }
-            self.d[j] = d;
+            for g in self.gamma.iter_mut() {
+                *g = 1.0;
+            }
         }
-        for g in self.gamma.iter_mut() {
-            *g = 1.0;
-        }
+        self.note_pricing_wall(t0, parallel);
         self.candidates.clear();
         for f in self.in_cands.iter_mut() {
             *f = false;
         }
-        self.scans += self.p.n as u64;
+        self.scans += n as u64;
         self.fresh = true;
     }
 
@@ -791,19 +911,59 @@ impl<'a> State<'a> {
     /// Devex pricing over all columns using the maintained reduced costs:
     /// highest `d²/γ` wins, smallest index on exact ties (ascending scan
     /// with a strictly-greater comparison).
+    ///
+    /// With `pricing_jobs > 1` the scan fans out per section; each section
+    /// keeps its own smallest-index maximum and the reduction walks the
+    /// per-section results **in section order** with the same
+    /// strictly-greater comparison, so the winner is the smallest-index
+    /// attainer of the global maximum — exactly the serial answer.
     fn price_devex(&mut self) -> Option<(usize, f64)> {
-        let mut best: Option<(usize, f64)> = None; // (j, score)
-        for j in 0..self.p.n {
-            if !self.eligible(j) {
-                continue;
+        let t0 = Instant::now();
+        let n = self.p.n;
+        let jobs = self.opts.pricing_jobs;
+        let parallel = jobs > 1 && par::section_count(n) > 1;
+        let best = if parallel {
+            let (parts, stats) = {
+                let view = self.view();
+                par::map_sections(n, jobs, |_, r| {
+                    let mut best: Option<(usize, f64)> = None; // (j, score)
+                    for j in r {
+                        if !view.eligible(j) {
+                            continue;
+                        }
+                        let dj = view.d[j];
+                        let score = dj * dj / view.gamma[j];
+                        if best.is_none_or(|(_, s)| score > s) {
+                            best = Some((j, score));
+                        }
+                    }
+                    best
+                })
+            };
+            self.note_par_stats(stats);
+            let mut best: Option<(usize, f64)> = None;
+            for (j, score) in parts.into_iter().flatten() {
+                if best.is_none_or(|(_, s)| score > s) {
+                    best = Some((j, score));
+                }
             }
-            let dj = self.d[j];
-            let score = dj * dj / self.gamma[j];
-            if best.is_none_or(|(_, s)| score > s) {
-                best = Some((j, score));
+            best
+        } else {
+            let mut best: Option<(usize, f64)> = None; // (j, score)
+            for j in 0..n {
+                if !self.eligible(j) {
+                    continue;
+                }
+                let dj = self.d[j];
+                let score = dj * dj / self.gamma[j];
+                if best.is_none_or(|(_, s)| score > s) {
+                    best = Some((j, score));
+                }
             }
-        }
-        self.scans += self.p.n as u64;
+            best
+        };
+        self.scans += n as u64;
+        self.note_pricing_wall(t0, parallel);
         best.map(|(j, _)| (j, self.d[j]))
     }
 
@@ -814,7 +974,15 @@ impl<'a> State<'a> {
     /// Devex score among the survivors — O(section + candidates) per
     /// pivot instead of O(n). A full wrap with an empty shortlist means no
     /// eligible column exists (by the maintained reduced costs).
+    ///
+    /// With `pricing_jobs > 1` each cyclic section's scan fans out over
+    /// the sectioned parallel map: subsections return their eligible
+    /// columns as lists, concatenated in subsection order — reproducing
+    /// the serial cyclic insertion order exactly, including the
+    /// between-section early exit (checked only at section boundaries,
+    /// same as the serial sweep).
     fn price_partial(&mut self) -> Option<(usize, f64)> {
+        let t0 = Instant::now();
         // Drop candidates that went basic or lost eligibility.
         let mut keep = 0;
         for idx in 0..self.candidates.len() {
@@ -830,22 +998,50 @@ impl<'a> State<'a> {
         self.candidates.truncate(keep);
         let n = self.p.n;
         let section = (n / SECTIONS).max(SECTION_MIN).min(n);
+        let jobs = self.opts.pricing_jobs;
+        let parallel = jobs > 1 && par::section_count(section) > 1;
         let mut scanned = 0usize;
         while scanned < n {
-            for _ in 0..section {
-                if scanned >= n {
-                    break;
+            if parallel {
+                let take = section.min(n - scanned);
+                let start = self.cursor;
+                let (parts, stats) = {
+                    let view = self.view();
+                    par::map_sections(take, jobs, |_, r| {
+                        let mut found: Vec<u32> = Vec::new();
+                        for off in r {
+                            let j = (start + off) % n;
+                            if !view.in_cands[j] && view.eligible(j) {
+                                found.push(j as u32);
+                            }
+                        }
+                        found
+                    })
+                };
+                self.note_par_stats(stats);
+                for j in parts.into_iter().flatten() {
+                    self.in_cands[j as usize] = true;
+                    self.candidates.push(j);
                 }
-                let j = self.cursor;
-                self.cursor += 1;
-                if self.cursor == n {
-                    self.cursor = 0;
-                }
-                scanned += 1;
-                self.scans += 1;
-                if !self.in_cands[j] && self.eligible(j) {
-                    self.in_cands[j] = true;
-                    self.candidates.push(j as u32);
+                self.cursor = (start + take) % n;
+                scanned += take;
+                self.scans += take as u64;
+            } else {
+                for _ in 0..section {
+                    if scanned >= n {
+                        break;
+                    }
+                    let j = self.cursor;
+                    self.cursor += 1;
+                    if self.cursor == n {
+                        self.cursor = 0;
+                    }
+                    scanned += 1;
+                    self.scans += 1;
+                    if !self.in_cands[j] && self.eligible(j) {
+                        self.in_cands[j] = true;
+                        self.candidates.push(j as u32);
+                    }
                 }
             }
             if self.candidates.len() >= CANDS_MIN {
@@ -886,6 +1082,7 @@ impl<'a> State<'a> {
                 best = Some((j, score));
             }
         }
+        self.note_pricing_wall(t0, parallel);
         best.map(|(j, _)| (j, self.d[j]))
     }
 

@@ -64,6 +64,10 @@ pub struct Solution {
     pub(crate) iterations: u64,
     pub(crate) pricing_scans: u64,
     pub(crate) bland_pivots: u64,
+    pub(crate) pricing_par_sections: u64,
+    pub(crate) pricing_par_steals: u64,
+    pub(crate) pricing_serial_nanos: u64,
+    pub(crate) pricing_par_nanos: u64,
     pub(crate) factor_stats: FactorStats,
 }
 
@@ -122,6 +126,33 @@ impl Solution {
     /// Iterations priced under the Bland's-rule anti-cycling fallback.
     pub fn bland_pivots(&self) -> u64 {
         self.bland_pivots
+    }
+
+    /// Sections executed by the deterministic parallel-pricing layer.
+    /// Zero when `pricing_jobs <= 1` (the serial path spawns no sections).
+    /// Deterministic for a fixed model and configuration: section counts
+    /// derive from range sizes, never from thread scheduling.
+    pub fn pricing_par_sections(&self) -> u64 {
+        self.pricing_par_sections
+    }
+
+    /// Sections claimed by a worker other than the one whose deque they
+    /// were seeded on. Timing-dependent — a load-balance diagnostic, not a
+    /// deterministic quantity.
+    pub fn pricing_par_steals(&self) -> u64 {
+        self.pricing_par_steals
+    }
+
+    /// Wall-clock nanoseconds spent in pricing invocations that ran the
+    /// serial path.
+    pub fn pricing_serial_nanos(&self) -> u64 {
+        self.pricing_serial_nanos
+    }
+
+    /// Wall-clock nanoseconds spent in pricing invocations that fanned out
+    /// over the worker pool.
+    pub fn pricing_par_nanos(&self) -> u64 {
+        self.pricing_par_nanos
     }
 
     /// Basis-factorization counters (refactorizations, fill-in,

@@ -10,7 +10,7 @@
 
 use pretium_lp::validate::check_optimal;
 use pretium_lp::{
-    Cmp, LinExpr, Model, Pricing, RowId, Sense, SimplexOptions, SolveOptions, SolverSession,
+    Cmp, LinExpr, Model, Pricing, RowId, Sense, SimplexOptions, SolveOptions, SolverSession, Var,
 };
 
 /// Deterministic xorshift64* stream in `[0, 1)`.
@@ -232,6 +232,71 @@ fn bland_trigger_fires_under_devex_on_degenerate_lp() {
             sol.bland_pivots() > 0,
             "{pricing:?}: Bland fallback never engaged on a degenerate LP"
         );
+    }
+}
+
+/// The deterministic parallel-pricing layer must be invisible at the bit
+/// level: on random models wide enough to engage the sectioned sweeps,
+/// every solution vector — primal values, duals, and the reduced-cost
+/// scores pricing ranks candidates by — must be element-wise bitwise
+/// identical between the serial path and any worker count, for both
+/// incremental strategies, along with the deterministic work counters
+/// (iterations, pricing scans).
+#[test]
+fn parallel_pricing_scores_match_serial_bitwise() {
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+    for seed in 0..8u64 {
+        let mut g = Gen::new(seed.wrapping_mul(0x9A17) | 1);
+        // Wide enough that the size-derived sectioning splits the column
+        // range (the layer stays serial below its per-section minimum).
+        let nvars = 300 + g.index(300);
+        let mut m = Model::new(Sense::Maximize);
+        let xs: Vec<_> =
+            (0..nvars).map(|j| m.add_var(&format!("x{j}"), 0.0, 2.0, g.range(0.1, 3.0))).collect();
+        let nrows = 60 + g.index(80);
+        for i in 0..nrows {
+            let mut e = LinExpr::new();
+            for (j, &v) in xs.iter().enumerate() {
+                if (j * 7 + i) % 16 == 0 {
+                    e.add_term(g.range(0.2, 1.5), v);
+                }
+            }
+            m.add_row(&format!("r{i}"), e, Cmp::Le, g.range(2.0, 10.0));
+        }
+        for pricing in [Pricing::Devex, Pricing::PartialDevex] {
+            let solve = |jobs: usize| {
+                let mut sess = SolverSession::new(m.clone());
+                let opts = SolveOptions {
+                    simplex: Some(SimplexOptions {
+                        pricing,
+                        pricing_jobs: jobs,
+                        ..Default::default()
+                    }),
+                    ..SolveOptions::default()
+                };
+                sess.solve(&opts)
+                    .unwrap_or_else(|e| panic!("seed {seed} {pricing:?} jobs={jobs}: {e}"))
+            };
+            let serial = solve(1);
+            assert_eq!(serial.pricing_par_sections(), 0, "serial path spawned sections");
+            for jobs in [2usize, 8] {
+                let par = solve(jobs);
+                let tag = format!("seed {seed} {pricing:?} jobs={jobs}");
+                assert_eq!(bits(serial.values()), bits(par.values()), "{tag}: values diverged");
+                assert_eq!(bits(serial.duals()), bits(par.duals()), "{tag}: duals diverged");
+                for j in 0..nvars {
+                    let v = Var::from_index(j);
+                    assert_eq!(
+                        serial.reduced_cost(v).to_bits(),
+                        par.reduced_cost(v).to_bits(),
+                        "{tag}: reduced cost of column {j} diverged"
+                    );
+                }
+                assert_eq!(serial.iterations(), par.iterations(), "{tag}: iterations");
+                assert_eq!(serial.pricing_scans(), par.pricing_scans(), "{tag}: scans");
+                assert!(par.pricing_par_sections() > 0, "{tag}: fan-out never engaged");
+            }
+        }
     }
 }
 

@@ -143,6 +143,61 @@ fn colgen_runs_are_bit_identical_across_job_counts() {
 }
 
 #[test]
+fn parallel_pricing_is_bit_identical_across_job_counts() {
+    // The deterministic parallel-pricing layer (DESIGN.md §19) fans the
+    // simplex's reprice/Devex/section sweeps AND the colgen oracle's
+    // job-block pricing out over the sectioned pool. Unlike `max_etas`,
+    // `pricing_jobs` must be a pure wall-clock knob at the bit level:
+    // sections are fixed and size-derived, reductions run in section
+    // order, so jobs ∈ {1, 2, 8} composed with colgen and the sparse-LU
+    // kernel must produce bit-identical deliveries, payments, admissions,
+    // and deterministic LP counters.
+    //
+    // The tiny scenario's restricted masters stay under the 256-column
+    // sectioning minimum (the fan-out would short-circuit to serial and
+    // the test would pin the serial path three times), so widen it just
+    // past that threshold: longer windows and denser demand.
+    let mut wide = ScenarioConfig::tiny(rand::DEFAULT_SEED);
+    wide.steps_per_window = 16;
+    wide.traffic.pair_activity = 0.5;
+    wide.requests.requests_per_pair_window = 3.0;
+    wide.requests.max_window = 12;
+    let sc = wide.build();
+    let mk = |pricing_jobs: usize| {
+        let cfg =
+            PretiumConfig { pricing_jobs, colgen: ColumnGen::on(), ..PretiumConfig::default() };
+        run_pretium(&sc, cfg, Variant::Full).expect("parallel-pricing run")
+    };
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+    let one = mk(1);
+    let two = mk(2);
+    let eight = mk(8);
+    for (label, run) in [("2", &two), ("8", &eight)] {
+        assert_eq!(
+            bits(&one.outcome.delivered),
+            bits(&run.outcome.delivered),
+            "deliveries diverged between pricing_jobs=1 and pricing_jobs={label}"
+        );
+        assert_eq!(bits(&one.outcome.payments), bits(&run.outcome.payments));
+        assert_eq!(one.outcome.admitted, run.outcome.admitted);
+    }
+    // Deterministic LP counters (iterations, scans, refactors, sections;
+    // `SessionStats` equality excludes the timing-dependent steal and
+    // wall-clock fields) must agree between the two *parallel* runs: both
+    // split identical ranges into identical sections. The serial run
+    // spawns no sections, so it is compared on outputs above, not here.
+    assert_eq!(two.lp_stats, eight.lp_stats, "LP counters diverged between parallel job counts");
+    // The parallel layer must have actually run — sections prove the
+    // fan-out happened, or this test pins the serial path three times.
+    assert!(
+        two.lp_stats.pricing_par_sections > 0,
+        "pricing_jobs=2 never fanned out: {:?}",
+        two.lp_stats
+    );
+    assert_eq!(one.lp_stats.pricing_par_sections, 0, "serial run spawned sections");
+}
+
+#[test]
 fn sparse_lu_cadence_is_deterministic_and_tolerance_bounded() {
     // The sparse-LU kernel's refactor cadence (`max_etas`) changes which
     // floating-point path each solve takes, so two contracts apply:
